@@ -1,0 +1,34 @@
+"""Shared helpers for the reproduction benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure series),
+prints the same rows the paper reports side by side with the paper's
+values, and archives a CSV/JSON copy under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.reporting import render_table, write_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a titled table and archive it as CSV."""
+
+    def _emit(name: str, title: str, headers, rows, *, floatfmt=".2f"):
+        print()
+        print(render_table(headers, rows, title=title, floatfmt=floatfmt))
+        write_csv(results_dir / f"{name}.csv", headers, rows)
+
+    return _emit

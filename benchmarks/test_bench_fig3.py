@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 3 (scenario 1 — naive IM, STATIC).
+
+Prints the per-case, per-application execution times under straightforward
+parallelization on the naive allocation, with the stage-I expected times
+(the T_i of the figure caption) for reference. Shape criterion: the system
+deadline is violated in every availability case — the system is not robust.
+"""
+
+import pytest
+
+from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, data, figure_series
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure_series(
+        "fig3", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+    )
+
+
+def test_bench_fig3_series(benchmark, emit, fig3):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            "fig3", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (case, app, tech, time, "yes" if ok else "NO")
+        for case, app, tech, time, ok in series.rows
+    ]
+    emit(
+        "fig3",
+        f"Figure 3: scenario 1 (naive IM + STATIC), Delta = {data.DEADLINE:g}; "
+        f"T_exp = {', '.join(f'{a}={t:.0f}' for a, t in series.expected_times.items())}",
+        ["case", "app", "technique", "time", "meets deadline"],
+        rows,
+    )
+    # Paper claim: phi2 > Delta for all four cases -> a violation everywhere.
+    for case in data.CASE_ORDER:
+        assert series.any_violation(case), case
+    # Caption values: the stage-I expected times of the naive allocation.
+    for app, expected in data.TABLE_V["naive"].items():
+        assert series.expected_times[app] == pytest.approx(expected, rel=2e-3)
+    # phi1 of the naive IM.
+    assert series.result.robustness.rho1 == pytest.approx(0.26, abs=0.005)

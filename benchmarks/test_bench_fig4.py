@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 4 (scenario 2 — robust IM, STATIC).
+
+Shape criteria: STATIC's application times degrade as the weighted system
+availability decreases, and the deadline is violated in every case despite
+the robust initial mapping (phi_1 = 74.5%) — stage I alone is not enough.
+"""
+
+import pytest
+
+from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, data, figure_series
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure_series(
+        "fig4", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+    )
+
+
+def test_bench_fig4_series(benchmark, emit, fig4):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            "fig4", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (case, app, tech, time, "yes" if ok else "NO")
+        for case, app, tech, time, ok in series.rows
+    ]
+    emit(
+        "fig4",
+        f"Figure 4: scenario 2 (robust IM + STATIC), Delta = {data.DEADLINE:g}; "
+        f"T_exp = {', '.join(f'{a}={t:.0f}' for a, t in series.expected_times.items())}",
+        ["case", "app", "technique", "time", "meets deadline"],
+        rows,
+    )
+    # phi1 of the robust IM.
+    assert series.result.robustness.rho1 == pytest.approx(0.745, abs=0.005)
+    # Violations in every case (paper: "phi2 > Delta for all four cases").
+    for case in data.CASE_ORDER:
+        assert series.any_violation(case), case
+    # Degradation with decreasing availability: the worst case exceeds the
+    # reference case for every application.
+    for app in ("app1", "app2", "app3"):
+        t1 = series.times("case1", "STATIC")[app]
+        t4 = series.times("case4", "STATIC")[app]
+        assert t4 > t1, app
+    # Caption values: stage-I expected times of the robust allocation.
+    for app, expected in data.TABLE_V["robust"].items():
+        assert series.expected_times[app] == pytest.approx(expected, rel=2e-3)

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 5 (scenario 3 — naive IM, robust DLS).
+
+Shape criteria: even the most robust DLS technique cannot rescue the naive
+allocation — application 3 violates the deadline in the degraded cases, so
+no degraded case is tolerable and the system is not robust.
+"""
+
+import pytest
+
+from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, data, figure_series
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure_series(
+        "fig5", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+    )
+
+
+def test_bench_fig5_series(benchmark, emit, fig5):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            "fig5", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (case, app, tech, time, "yes" if ok else "NO")
+        for case, app, tech, time, ok in series.rows
+    ]
+    emit(
+        "fig5",
+        f"Figure 5: scenario 3 (naive IM + robust DLS), Delta = {data.DEADLINE:g}; "
+        f"T_exp = {', '.join(f'{a}={t:.0f}' for a, t in series.expected_times.items())}",
+        ["case", "app", "technique", "time", "meets deadline"],
+        rows,
+    )
+    study = series.result.stage_ii
+    # phi1 unchanged by stage II.
+    assert series.result.robustness.rho1 == pytest.approx(0.26, abs=0.005)
+    # App 3 violates with every technique in the degraded cases.
+    for case in ("case2", "case3", "case4"):
+        assert study.best_technique(case, "app3") is None, case
+        assert not study.case_tolerable(case), case
+    # The DLS techniques cannot repair the mapping: rho2 = 0.
+    assert series.result.robustness.rho2 == 0.0

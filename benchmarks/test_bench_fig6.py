@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 6 (scenario 4 — robust IM, robust DLS).
+
+The CDSF proper. Shape criteria (paper §IV): the deadline is met for all
+applications in cases 1-3; in case 4 application 2 violates with every DLS
+technique while AF is the technique that still saves application 3; the
+robustness tuple is (74.5%, ~30.8%).
+"""
+
+import pytest
+
+from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, data, figure_series
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure_series(
+        "fig6", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+    )
+
+
+def test_bench_fig6_series(benchmark, emit, fig6):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            "fig6", replications=PAPER_REPLICATIONS, seed=PAPER_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (case, app, tech, time, "yes" if ok else "NO")
+        for case, app, tech, time, ok in series.rows
+    ]
+    emit(
+        "fig6",
+        f"Figure 6: scenario 4 (robust IM + robust DLS), Delta = {data.DEADLINE:g}; "
+        f"T_exp = {', '.join(f'{a}={t:.0f}' for a, t in series.expected_times.items())}",
+        ["case", "app", "technique", "time", "meets deadline"],
+        rows,
+    )
+    study = series.result.stage_ii
+    # Cases 1-3 tolerable, case 4 not (the paper's headline).
+    assert study.tolerable_cases() == {
+        "case1": True,
+        "case2": True,
+        "case3": True,
+        "case4": False,
+    }
+    # Case 4: app2 fails with everything, AF saves app3.
+    assert study.best_technique("case4", "app2") is None
+    assert study.best_technique("case4", "app3") == "AF"
+    # Robustness tuple vs paper.
+    assert series.result.robustness.rho1 == pytest.approx(
+        data.RHO[0] / 100.0, abs=0.005
+    )
+    assert series.result.robustness.rho2 == pytest.approx(data.RHO[1], abs=0.5)

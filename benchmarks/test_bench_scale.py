@@ -1,0 +1,107 @@
+"""Benchmark: the larger-scale study sketched in the paper's §V.
+
+"In future work, a larger scale problem will be used ... more applications,
+i.e., in a larger batch or in multiple batches, on a larger computing
+system." This bench runs the full CDSF on generated instances of growing
+size with the scalable heuristics, reporting stage-I robustness, stage-II
+tolerance, and wall-clock cost — the study the paper defers.
+"""
+
+import time
+
+import pytest
+
+from repro.apps import WorkloadSpec, degraded_availability, random_instance
+from repro.dls import ROBUST_SET
+from repro.framework import CDSF, StudyConfig
+from repro.ra import GeneticAllocator, GreedyRobustAllocator, StageIEvaluator
+from repro.sim import LoopSimConfig
+
+SIZES = [(4, 2), (8, 3), (16, 4)]  # (applications, processor types)
+
+
+def build_instance(n_apps, n_types, seed):
+    spec = WorkloadSpec(
+        n_apps=n_apps,
+        n_types=n_types,
+        procs_per_type=(4, 16),
+        parallel_iterations_range=(256, 1024),
+    )
+    system, batch = random_instance(spec, seed)
+    probe = StageIEvaluator(batch, system, 1e12)
+    alloc = GreedyRobustAllocator().allocate(probe).allocation
+    worst = max(probe.report(alloc).expected_times.values())
+    return system, batch, 1.4 * worst
+
+
+@pytest.mark.parametrize("n_apps,n_types", SIZES, ids=lambda v: str(v))
+def test_bench_scale_stage1(benchmark, n_apps, n_types):
+    system, batch, deadline = build_instance(n_apps, n_types, seed=77)
+    evaluator = StageIEvaluator(batch, system, deadline)
+    heuristic = GreedyRobustAllocator()
+    result = benchmark(heuristic.allocate, evaluator)
+    assert len(result.allocation) == n_apps
+
+
+def test_bench_scale_summary(benchmark, emit):
+    rows = []
+    for n_apps, n_types in SIZES:
+        system, batch, deadline = build_instance(n_apps, n_types, seed=77)
+        config = StudyConfig(
+            deadline=deadline,
+            replications=5,
+            seed=5,
+            sim=LoopSimConfig(overhead=0.5, availability_interval=1000.0),
+        )
+        cdsf = CDSF(batch, system, config)
+        cases = {
+            "reference": system,
+            "deg15": system.with_availabilities(
+                {
+                    t.name: degraded_availability(t.availability, 0.85)
+                    for t in system.types
+                }
+            ),
+            "deg30": system.with_availabilities(
+                {
+                    t.name: degraded_availability(t.availability, 0.70)
+                    for t in system.types
+                }
+            ),
+        }
+        for heuristic in (
+            GreedyRobustAllocator(),
+            GeneticAllocator(population=20, generations=15, rng=2),
+        ):
+            t0 = time.perf_counter()
+            result = cdsf.run(heuristic, cases, ROBUST_SET)
+            elapsed = time.perf_counter() - t0
+            rows.append(
+                (
+                    f"{n_apps}x{n_types}",
+                    system.total_processors,
+                    result.stage_i.heuristic,
+                    100.0 * result.robustness.rho1,
+                    result.robustness.rho2,
+                    result.stage_i.evaluations,
+                    elapsed,
+                )
+            )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "scale",
+        "Larger-scale CDSF study (paper SS V future work): generated instances",
+        [
+            "batch x types",
+            "procs",
+            "heuristic",
+            "rho1 %",
+            "rho2 %",
+            "stage-I evals",
+            "wall s",
+        ],
+        rows,
+    )
+    # Scalable heuristics stay polynomial: evaluation counts grow modestly.
+    greedy_evals = [r[5] for r in rows if r[2] == "greedy-robust"]
+    assert greedy_evals == sorted(greedy_evals)

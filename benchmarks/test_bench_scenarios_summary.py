@@ -1,0 +1,69 @@
+"""Benchmark: the paper's central hypothesis in one table.
+
+"Using an intelligent approach in both stages will result in better overall
+system performance than using an intelligent approach for either stage in
+isolation or neither" (§I). This bench runs all four scenarios and prints
+their robustness side by side: phi_1, per-case deadline satisfaction, and
+rho_2 — the dominance of scenario 4 is the asserted shape.
+"""
+
+import pytest
+
+from repro.framework import Scenario, run_all_scenarios
+from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, data, paper_cases, paper_cdsf
+
+LABELS = {
+    Scenario.NAIVE_IM_NAIVE_RAS: "1: naive IM + naive RAS",
+    Scenario.ROBUST_IM_NAIVE_RAS: "2: robust IM + naive RAS",
+    Scenario.NAIVE_IM_ROBUST_RAS: "3: naive IM + robust RAS",
+    Scenario.ROBUST_IM_ROBUST_RAS: "4: robust IM + robust RAS",
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all_scenarios(
+        paper_cdsf(replications=PAPER_REPLICATIONS, seed=PAPER_SEED),
+        paper_cases(),
+    )
+
+
+def test_bench_scenario_dominance(benchmark, emit, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    rows = []
+    for scenario in Scenario:
+        result = results[scenario]
+        tolerable = result.stage_ii.tolerable_cases()
+        rows.append(
+            (
+                LABELS[scenario],
+                100.0 * result.robustness.rho1,
+                sum(tolerable.values()),
+                result.robustness.rho2,
+            )
+        )
+    emit(
+        "scenarios",
+        "The four scenarios: stage intelligence vs system robustness",
+        ["scenario", "phi1 %", "tolerable cases (of 4)", "rho2 %"],
+        rows,
+    )
+
+    s1 = results[Scenario.NAIVE_IM_NAIVE_RAS]
+    s2 = results[Scenario.ROBUST_IM_NAIVE_RAS]
+    s3 = results[Scenario.NAIVE_IM_ROBUST_RAS]
+    s4 = results[Scenario.ROBUST_IM_ROBUST_RAS]
+
+    # The paper's hypothesis: scenario 4 dominates every other scenario on
+    # both robustness coordinates.
+    for other in (s1, s2, s3):
+        assert s4.robustness.rho1 >= other.robustness.rho1 - 1e-9
+        assert s4.robustness.rho2 >= other.robustness.rho2 - 1e-9
+    # And strictly: only scenario 4 tolerates any degraded case.
+    assert s4.robustness.rho2 > 0.0
+    assert s1.robustness.rho2 == 0.0
+    assert s3.robustness.rho2 == 0.0
+    # Robust IM lifts phi1 regardless of stage II.
+    assert s2.robustness.rho1 == pytest.approx(s4.robustness.rho1)
+    assert s1.robustness.rho1 == pytest.approx(s3.robustness.rho1)
+    assert s4.robustness.rho1 > s1.robustness.rho1

@@ -1,0 +1,96 @@
+"""Benchmark: simulator performance scaling.
+
+Not a paper artifact — the engineering health of the substrate. Measures
+how one loop simulation's cost grows with the iteration count, group size,
+and technique chunk count (SS is the chunk-heavy stress case), and checks
+the growth stays near-linear in the dispatched chunks. Guards against the
+quadratic-timeline regressions the availability-array caching fixed.
+"""
+
+import pytest
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import make_technique
+from repro.sim import LoopSimConfig, simulate_application
+from repro.system import HeterogeneousSystem, ProcessorType
+from repro.pmf import percent_availability
+
+CONFIG = LoopSimConfig(overhead=1.0, availability_interval=500.0)
+
+
+def make_case(n_parallel: int, p: int):
+    system = HeterogeneousSystem(
+        [
+            ProcessorType(
+                "t", 16,
+                availability=percent_availability([(50, 50), (100, 50)]),
+            )
+        ]
+    )
+    app = Application(
+        "perf", 0, n_parallel,
+        normal_exectime_model({"t": float(n_parallel)}),
+        iteration_cv=0.1,
+    )
+    return app, system.group("t", p)
+
+
+@pytest.mark.parametrize("n_parallel", [1024, 4096, 16384])
+def test_bench_sim_scaling_iterations(benchmark, n_parallel):
+    app, group = make_case(n_parallel, 8)
+    result = benchmark(
+        simulate_application, app, group, make_technique("FAC"),
+        seed=1, config=CONFIG,
+    )
+    assert result.iterations_executed == n_parallel
+
+
+@pytest.mark.parametrize("p", [2, 8, 16])
+def test_bench_sim_scaling_workers(benchmark, p):
+    app, group = make_case(4096, p)
+    result = benchmark(
+        simulate_application, app, group, make_technique("FAC"),
+        seed=1, config=CONFIG,
+    )
+    assert result.iterations_executed == 4096
+
+
+def test_bench_sim_chunk_heavy_ss(benchmark):
+    """SS on 8192 iterations: the per-chunk-cost stress case."""
+    app, group = make_case(8192, 8)
+    result = benchmark.pedantic(
+        simulate_application,
+        args=(app, group, make_technique("SS")),
+        kwargs={"seed": 1, "config": CONFIG},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_chunks == 8192
+
+
+def test_bench_sim_cost_linear_in_chunks(emit, benchmark):
+    """Wall time per dispatched chunk stays flat as the run grows."""
+    import time
+
+    rows = []
+    per_chunk = []
+    for n in (2048, 8192, 32768):
+        app, group = make_case(n, 8)
+        t0 = time.perf_counter()
+        result = simulate_application(
+            app, group, make_technique("SS"), seed=1, config=CONFIG
+        )
+        elapsed = time.perf_counter() - t0
+        rows.append((n, result.n_chunks, elapsed, 1e6 * elapsed / result.n_chunks))
+        per_chunk.append(elapsed / result.n_chunks)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "simperf",
+        "Simulator cost scaling (SS, 8 workers)",
+        ["iterations", "chunks", "wall s", "us per chunk"],
+        rows,
+        floatfmt=".2f",
+    )
+    # Near-linear: cost per chunk grows by at most ~4x across a 16x size
+    # increase (the availability timeline grows with simulated time).
+    assert per_chunk[-1] <= 4.0 * per_chunk[0]

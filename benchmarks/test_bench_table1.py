@@ -1,0 +1,51 @@
+"""Benchmark: regenerate paper Table I (availabilities, Eq. 1, decreases).
+
+Prints per-case, per-type expected availabilities and the weighted system
+availability with the paper's values alongside; benchmarks the PMF
+arithmetic that computes them.
+"""
+
+from repro.paper import data, paper_system, table_i_rows
+
+
+def test_bench_table1_weighted_availability(benchmark, emit):
+    rows = benchmark(table_i_rows)
+
+    printable = []
+    for case, type_name, expected_avail, weighted, decrease in rows:
+        paper_expected = data.EXPECTED_AVAILABILITY[case][type_name]
+        paper_weighted = data.WEIGHTED_AVAILABILITY[case]
+        printable.append(
+            (
+                case,
+                type_name,
+                expected_avail,
+                paper_expected,
+                weighted,
+                paper_weighted,
+                decrease,
+                data.AVAILABILITY_DECREASE.get(case, 0.0),
+            )
+        )
+    emit(
+        "table1",
+        "Table I: processor and weighted system availabilities (measured vs paper)",
+        [
+            "case",
+            "type",
+            "E[avail] %",
+            "paper",
+            "weighted %",
+            "paper",
+            "decrease %",
+            "paper",
+        ],
+        printable,
+    )
+
+    # Shape assertions: ordering and closeness to the paper's table.
+    weighted = {case: paper_system(case).weighted_availability() for case in data.CASE_ORDER}
+    values = [weighted[c] for c in data.CASE_ORDER]
+    assert values == sorted(values, reverse=True)
+    for case, expected in data.WEIGHTED_AVAILABILITY.items():
+        assert abs(100.0 * weighted[case] - expected) < 0.15

@@ -1,0 +1,68 @@
+"""Benchmark: regenerate paper Tables II and III (the workload inputs).
+
+Table II (application characteristics) and Table III (mean single-processor
+execution times) are the example's inputs; the benchmark times the PMF model
+construction and verifies the derived serial/parallel percentages match the
+paper.
+"""
+
+from repro.paper import data, paper_batch
+
+
+def test_bench_table2_batch_characteristics(benchmark, emit):
+    batch = benchmark(paper_batch)
+
+    rows = []
+    for name in batch.names:
+        app = batch.app(name)
+        spec = data.APPLICATIONS[name]
+        rows.append(
+            (
+                name,
+                app.n_serial,
+                app.n_parallel,
+                100.0 * app.serial_frac,
+                spec["serial_pct"],
+                100.0 * app.parallel_frac,
+                spec["parallel_pct"],
+            )
+        )
+    emit(
+        "table2",
+        "Table II: batch characteristics (measured vs paper)",
+        [
+            "app",
+            "# serial",
+            "# parallel",
+            "% serial",
+            "paper",
+            "% parallel",
+            "paper",
+        ],
+        rows,
+    )
+    for name, _, _, serial_pct, paper_serial, _, _ in rows:
+        assert abs(serial_pct - paper_serial) < 0.1, name
+
+
+def test_bench_table3_execution_time_model(benchmark, emit):
+    def build_and_summarize():
+        batch = paper_batch()
+        out = []
+        for app_name, per_type in data.MEAN_EXEC_TIMES.items():
+            app = batch.app(app_name)
+            for type_name, mu in per_type.items():
+                pmf = app.single_proc_pmf(type_name)
+                out.append((app_name, type_name, pmf.mean(), mu, pmf.std()))
+        return out
+
+    rows = benchmark(build_and_summarize)
+    emit(
+        "table3",
+        "Table III: single-processor execution-time PMFs (measured vs paper mean)",
+        ["app", "type", "PMF mean", "paper mean", "PMF std"],
+        rows,
+    )
+    for app_name, type_name, mean, mu, std in rows:
+        assert abs(mean - mu) / mu < 1e-3, (app_name, type_name)
+        assert abs(std - 0.1 * mu) / mu < 0.01, (app_name, type_name)

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate paper Table IV (naive and robust IM) and phi_1.
+
+Times the two stage-I searches — equal-share load balancing and the
+exhaustive optimal search over all 153 feasible power-of-2 allocations —
+and checks the resulting allocations and joint deadline probabilities
+against the paper's reported values (26% and 74.5%).
+"""
+
+from repro.paper import compute_allocations, data, phi1_values, table_iv_rows
+
+
+def test_bench_table4_allocations(benchmark, emit):
+    evaluator, allocations = benchmark(compute_allocations)
+
+    rows = []
+    for policy, app, type_name, size in table_iv_rows(allocations):
+        paper_type, paper_size = data.TABLE_IV[policy][app]
+        rows.append((policy, app, type_name, paper_type, size, paper_size))
+    emit(
+        "table4",
+        "Table IV: resource allocations (measured vs paper)",
+        ["RA", "app", "type", "paper type", "# procs", "paper #"],
+        rows,
+    )
+    for policy, app, type_name, paper_type, size, paper_size in rows:
+        assert type_name == paper_type, (policy, app)
+        assert size == paper_size, (policy, app)
+
+
+def test_bench_phi1_joint_probability(benchmark, emit):
+    values = benchmark(phi1_values)
+    rows = [
+        (policy, values[policy], data.PHI1[policy])
+        for policy in ("naive", "robust")
+    ]
+    emit(
+        "phi1",
+        "phi_1 = Pr(Psi <= Delta): joint deadline probability (measured vs paper)",
+        ["RA", "phi1 % (measured)", "phi1 % (paper)"],
+        rows,
+    )
+    for policy, measured, paper in rows:
+        assert abs(measured - paper) < 0.5, policy

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Table V (expected parallel completion times).
+
+Times the Eq.-2 + availability-dilation PMF pipeline for both allocations;
+the measured expectations must match the paper's values (which carry its
+own Monte-Carlo sampling noise of ~0.05%).
+"""
+
+from repro.paper import compute_allocations, data, table_v_rows
+
+
+def test_bench_table5_expected_times(benchmark, emit):
+    evaluator, allocations = compute_allocations()
+
+    rows = benchmark(table_v_rows, evaluator, allocations)
+
+    printable = [
+        (policy, app, measured, data.TABLE_V[policy][app])
+        for policy, app, measured in rows
+    ]
+    emit(
+        "table5",
+        "Table V: expected completion times T^exp (measured vs paper)",
+        ["RA", "app", "T^exp (measured)", "T^exp (paper)"],
+        printable,
+    )
+    for policy, app, measured, paper in printable:
+        assert abs(measured - paper) / paper < 2e-3, (policy, app)

@@ -1,0 +1,107 @@
+"""Benchmark: regenerate paper Table VI and the robustness tuple (rho1, rho2).
+
+Runs the full scenario-4 stage-II study (4 cases x 4 DLS techniques x 3
+applications x replications) and reports the best deadline-meeting DLS
+technique per cell, the per-case tolerability, and the system robustness
+(rho_1, rho_2) against the paper's (74.5%, 30.77%).
+"""
+
+import pytest
+
+from repro.framework import Scenario, run_scenario
+from repro.paper import (
+    PAPER_REPLICATIONS,
+    PAPER_SEED,
+    data,
+    paper_cases,
+    paper_cdsf,
+    table_vi_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario4_result():
+    return run_scenario(
+        Scenario.ROBUST_IM_ROBUST_RAS,
+        paper_cdsf(replications=PAPER_REPLICATIONS, seed=PAPER_SEED),
+        paper_cases(),
+    )
+
+
+def test_bench_table6_best_dls(benchmark, emit, scenario4_result):
+    def run_study():
+        return run_scenario(
+            Scenario.ROBUST_IM_ROBUST_RAS,
+            paper_cdsf(replications=PAPER_REPLICATIONS, seed=PAPER_SEED),
+            paper_cases(),
+        )
+
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    study = result.stage_ii
+
+    rows = []
+    for app, case, best in table_vi_rows(study):
+        paper_best = data.TABLE_VI[app][case]
+        tied = study.best_techniques(case, app)
+        rows.append(
+            (app, case, best, paper_best or "-", "/".join(tied) or "-")
+        )
+    emit(
+        "table6",
+        "Table VI: best deadline-meeting DLS per application per case "
+        "(measured vs paper; FAC/WF are statistically tied on single-type "
+        "groups, see EXPERIMENTS.md)",
+        ["app", "case", "best DLS (measured)", "best DLS (paper)", "statistically tied set"],
+        rows,
+    )
+
+    # The paper's reported technique lies within the statistically tied
+    # set wherever the paper's cell is decidable at all.
+    for app, case, _best, paper_best, tied in rows:
+        if paper_best not in ("-",) and tied != "-":
+            assert paper_best in tied.split("/"), (app, case, paper_best, tied)
+
+    # Shape criteria: the binary structure of Table VI.
+    # 1. app2 is unschedulable in case 4 with every technique.
+    assert study.best_technique("case4", "app2") is None
+    # 2. every other (app, case) cell has a deadline-meeting technique.
+    for app, case, best, _paper, _tied in rows:
+        if (app, case) != ("app2", "case4"):
+            assert best != "-", (app, case)
+    # 3. AF is the technique that saves app3 at the lowest availability.
+    assert study.best_technique("case4", "app3") == "AF"
+
+
+def test_bench_rho_robustness_tuple(benchmark, emit, scenario4_result):
+    result = benchmark.pedantic(lambda: scenario4_result, rounds=1, iterations=1)
+    rho1 = 100.0 * result.robustness.rho1
+    rho2 = result.robustness.rho2
+    rows = [
+        ("rho1 (%)", rho1, data.RHO[0]),
+        ("rho2 (%)", rho2, data.RHO[1]),
+    ]
+    emit(
+        "rho",
+        "System robustness (rho1, rho2): measured vs paper",
+        ["metric", "measured", "paper"],
+        rows,
+    )
+    tolerable = result.stage_ii.tolerable_cases()
+    emit(
+        "tolerability",
+        "Per-case tolerability (all apps have a deadline-meeting DLS)",
+        ["case", "decrease %", "tolerable"],
+        [
+            (case, result.availability_decreases[case], tolerable[case])
+            for case in result.stage_ii.case_ids
+        ],
+    )
+    assert abs(rho1 - data.RHO[0]) < 0.5
+    # rho2: exact Table I arithmetic gives 30.89 vs the paper's rounded 30.77.
+    assert abs(rho2 - data.RHO[1]) < 0.5
+    assert tolerable == {
+        "case1": True,
+        "case2": True,
+        "case3": True,
+        "case4": False,
+    }

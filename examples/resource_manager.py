@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""A complete resource manager built from the library's pieces.
+
+The end-to-end story a CDSF deployment would run, composing everything:
+
+1. **Advise** — measure the instance and pick stage policies
+   (`repro.framework.selector`).
+2. **Map** — run the advised stage-I heuristic (robust initial mapping).
+3. **Tune** — pilot-select the best DLS technique per application
+   (`repro.framework.autotune`, the operational Table VI).
+4. **Assess** — analytic deadline/availability sensitivity and FePIA
+   robustness radii for the chosen mapping.
+5. **Execute** — a multi-batch arrival stream through consecutive CDSF
+   rounds (`repro.framework.multibatch`).
+
+Run:  python examples/resource_manager.py
+"""
+
+import numpy as np
+
+from repro.apps import WorkloadSpec, random_instance
+from repro.framework import (
+    MultiBatchScheduler,
+    StudyConfig,
+    analytic_tolerance,
+    extract_features,
+    recommend,
+    robustness_radii,
+    select_techniques,
+)
+from repro.ra import HEURISTICS, StageIEvaluator
+from repro.reporting import render_table
+from repro.sim import LoopSimConfig
+
+
+def main() -> None:
+    # The workload: 8 applications on a 3-type system.
+    spec = WorkloadSpec(
+        n_apps=8,
+        n_types=3,
+        procs_per_type=(4, 16),
+        parallel_iterations_range=(512, 2048),
+    )
+    system, batch = random_instance(spec, 99)
+    sim = LoopSimConfig(overhead=1.0, availability_interval=1000.0)
+
+    # Deadline: 40% slack over a greedy probe.
+    probe = StageIEvaluator(batch, system, 1e12)
+    greedy = HEURISTICS["greedy-robust"]().allocate(probe)
+    deadline = 1.4 * max(probe.report(greedy.allocation).expected_times.values())
+    config = StudyConfig(deadline=deadline, replications=8, seed=4, sim=sim)
+
+    # 1. Advise.
+    features = extract_features(batch, system, overhead=sim.overhead)
+    rec = recommend(features)
+    print(f"[advise] stage I = {rec.stage1}, stage II = {rec.stage2}")
+    for why in rec.rationale:
+        print(f"         - {why}")
+
+    # 2. Map.
+    evaluator = StageIEvaluator(batch, system, deadline)
+    stage_i = HEURISTICS[rec.stage1]().allocate(evaluator)
+    print(
+        f"\n[map]    {stage_i.heuristic}: phi_1 = {stage_i.robustness:.1%} "
+        f"({stage_i.evaluations} evaluations)"
+    )
+
+    # 3. Tune.
+    selection = select_techniques(
+        batch, stage_i.allocation, system, config, pilot_replications=4
+    )
+    print("\n[tune]   per-application DLS selection (pilot of 4 replications):")
+    print(
+        render_table(
+            ["application", "group", "technique", "pilot meets deadline"],
+            [
+                (
+                    app,
+                    f"{stage_i.allocation.group(app).size} x "
+                    f"{stage_i.allocation.group(app).ptype.name}",
+                    tech.name,
+                    selection.deadline_met[app],
+                )
+                for app, tech in selection.assignment.items()
+            ],
+        )
+    )
+
+    # 4. Assess.
+    tolerance = analytic_tolerance(
+        batch, system, stage_i.allocation, deadline, target=0.5
+    )
+    radii = robustness_radii(batch, system, stage_i.allocation, deadline)
+    print(
+        f"\n[assess] analytic tolerance (phi_1 >= 50%): {tolerance:.1f}% "
+        f"uniform availability decrease"
+    )
+    print(
+        "         FePIA radii: "
+        + ", ".join(f"{t}: {r:.1f}%" for t, r in radii.per_type.items())
+        + f"; uniform: {radii.uniform:.1f}%"
+    )
+
+    # 5. Execute a stream: the same batch arriving twice more over time.
+    arrivals = []
+    t = 0.0
+    for round_idx in range(3):
+        for app in batch:
+            clone = type(app)(
+                name=f"{app.name}-r{round_idx}",
+                n_serial=app.n_serial,
+                n_parallel=app.n_parallel,
+                exec_time=app.exec_time,
+                serial_fraction=app.serial_fraction,
+                iteration_cv=app.iteration_cv,
+            )
+            arrivals.append((t, clone))
+        t += deadline / 2  # next wave arrives before the previous finishes
+
+    scheduler = MultiBatchScheduler(
+        system,
+        HEURISTICS[rec.stage1](),
+        rec.stage2,
+        deadline=deadline,
+        sim=sim,
+        seed=6,
+    )
+    result = scheduler.run(arrivals, batch_size=len(batch))
+    print(
+        "\n[run]    "
+        + render_table(
+            ["batch", "start", "makespan", "phi1 %", "met deadline"],
+            [
+                (
+                    o.index,
+                    o.start_time,
+                    o.makespan,
+                    100 * o.robustness,
+                    o.makespan <= deadline,
+                )
+                for o in result.outcomes
+            ],
+        ).replace("\n", "\n         ")
+    )
+    responses = [result.response_time(name) for name in result.arrival_times]
+    print(
+        f"\n         stream makespan {result.total_makespan:.0f}; mean "
+        f"response {np.mean(responses):.0f}; worst {np.max(responses):.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Time-stepping applications and between-step adaptation (AWF).
+
+Scientific time-stepping codes execute the same parallel loop once per
+simulation step. The AWF technique was designed for exactly this: it keeps
+weights fixed *within* a step (cheap, stable) and refreshes them *between*
+steps from the measured per-worker performance.
+
+This example runs a 10-step application on a group where two processors are
+persistently degraded, comparing AWF (adapts between steps), WF (never
+adapts), AWF-B (adapts within steps), and STATIC — and prints per-step loop
+durations so the adaptation is visible.
+
+Run:  python examples/timestepped_application.py
+"""
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import make_technique
+from repro.reporting import render_table
+from repro.sim import LoopSimConfig, simulate_timestepped
+from repro.system import ConstantAvailability, HeterogeneousSystem, ProcessorType
+
+P = 8
+N_STEPS = 10
+
+
+def main() -> None:
+    system = HeterogeneousSystem([ProcessorType("node", P)])
+    app = Application(
+        "pde-stepper",
+        n_serial=16,
+        n_parallel=2048,
+        exec_time=normal_exectime_model({"node": 4128.0}),
+        iteration_cv=0.1,
+    )
+    # Two persistently loaded processors (e.g. co-scheduled services).
+    models = [ConstantAvailability(1.0)] * (P - 2) + [
+        ConstantAvailability(0.25)
+    ] * 2
+    config = LoopSimConfig(overhead=1.0)
+
+    rows = []
+    for tech_name in ("AWF", "WF", "AWF-B", "AF", "STATIC"):
+        result = simulate_timestepped(
+            app,
+            system.group("node", P),
+            make_technique(tech_name),
+            n_timesteps=N_STEPS,
+            seed=11,
+            config=config,
+            availability=models,
+        )
+        rows.append(
+            (
+                tech_name,
+                result.step_durations[0],
+                result.step_durations[1],
+                result.step_durations[-1],
+                result.improvement_ratio(),
+                result.makespan,
+            )
+        )
+    rows.sort(key=lambda r: r[-1])
+    print(
+        render_table(
+            [
+                "technique",
+                "step 0",
+                "step 1",
+                f"step {N_STEPS - 1}",
+                "step0/stepN",
+                "total makespan",
+            ],
+            rows,
+            title=f"{N_STEPS}-step run, {P} processors, 2 pinned at 25% availability",
+            floatfmt=".1f",
+        )
+    )
+    print(
+        "\nAWF's first step uses uniform weights (as slow as WF); from step 1"
+        "\nonward it has measured the slow processors and matches the fully"
+        "\nadaptive techniques — at one weight update per step instead of"
+        "\nper batch or per chunk."
+    )
+
+
+if __name__ == "__main__":
+    main()

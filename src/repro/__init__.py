@@ -1,0 +1,47 @@
+"""repro — the Combined Dual-Stage Framework (CDSF) for robust scheduling.
+
+A full reproduction of Ciorba et al., "A Combined Dual-stage Framework for
+Robust Scheduling of Scientific Applications in Heterogeneous Environments
+with Uncertain Availability" (IPDPS Workshops, 2012).
+
+Layers
+------
+* :mod:`repro.pmf` — discrete probability-mass-function algebra.
+* :mod:`repro.system` — heterogeneous systems and availability processes.
+* :mod:`repro.apps` — data-parallel applications and workload generators.
+* :mod:`repro.ra` — stage-I robust resource-allocation heuristics.
+* :mod:`repro.dls` — stage-II dynamic loop-scheduling techniques.
+* :mod:`repro.sim` — the discrete-event loop-scheduling simulator.
+* :mod:`repro.framework` — the CDSF orchestration and the four scenarios.
+* :mod:`repro.paper` — the paper's §IV example, tables, and figures.
+
+Quickstart
+----------
+>>> from repro.paper import paper_cdsf, paper_cases
+>>> from repro.framework import Scenario, run_scenario
+>>> result = run_scenario(Scenario.ROBUST_IM_ROBUST_RAS, paper_cdsf(), paper_cases())
+>>> result.robustness.rho1  # doctest: +SKIP
+0.7447
+"""
+
+from ._version import __version__
+from .errors import (
+    ReproError,
+    PMFError,
+    ModelError,
+    AllocationError,
+    InfeasibleAllocationError,
+    SchedulingError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PMFError",
+    "ModelError",
+    "AllocationError",
+    "InfeasibleAllocationError",
+    "SchedulingError",
+    "SimulationError",
+]

@@ -1,0 +1,30 @@
+"""Application model: data-parallel applications, batches, workload generators."""
+
+from .exectime import ExecutionTimeModel, IterationTimeModel, normal_exectime_model
+from .application import Application
+from .batch import Batch, ApplicationQueue
+from .generators import (
+    WorkloadSpec,
+    random_availability_pmf,
+    random_system,
+    random_application,
+    random_batch,
+    random_instance,
+    degraded_availability,
+)
+
+__all__ = [
+    "ExecutionTimeModel",
+    "IterationTimeModel",
+    "normal_exectime_model",
+    "Application",
+    "Batch",
+    "ApplicationQueue",
+    "WorkloadSpec",
+    "random_availability_pmf",
+    "random_system",
+    "random_application",
+    "random_batch",
+    "random_instance",
+    "degraded_availability",
+]

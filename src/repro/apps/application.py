@@ -1,0 +1,131 @@
+"""Data-parallel applications (paper §III-B, Table II).
+
+An :class:`Application` has ``n_serial`` iterations that must run on a single
+processor and ``n_parallel`` iterations that can be spread across the
+processors of its allocated group (same type, no inter-processor
+communication — the paper's explicit assumption). Its execution time on each
+processor type is described by an :class:`~repro.apps.exectime.
+ExecutionTimeModel`.
+
+The serial *fraction* of the total execution time defaults to the iteration
+fraction ``n_serial / (n_serial + n_parallel)`` (iterations are homogeneous
+on average), which reproduces the paper's Table II percentages: 439/1463 =
+30%, 512/2560 = 20%, 216/4312 = 5%. An explicit override is supported for
+models where serial iterations are heavier than parallel ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from ..pmf import PMF, amdahl_transform
+from .exectime import ExecutionTimeModel, IterationTimeModel
+
+__all__ = ["Application"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """One data-parallel scientific application.
+
+    Parameters
+    ----------
+    name:
+        Identifier (e.g. ``"app1"``).
+    n_serial, n_parallel:
+        Iteration counts; ``n_parallel`` must be >= 1 (the applications the
+        paper targets "contain large computationally intensive parallel
+        loops"); ``n_serial`` may be 0.
+    exec_time:
+        Per-processor-type single-processor total-time PMFs.
+    serial_fraction:
+        Fraction of the total single-processor time spent in serial
+        iterations. ``None`` (default) derives it from the iteration counts.
+    iteration_cv:
+        Coefficient of variation of individual iteration times at runtime
+        (stage-II simulator); stage-I arithmetic is unaffected.
+    """
+
+    name: str
+    n_serial: int
+    n_parallel: int
+    exec_time: ExecutionTimeModel
+    serial_fraction: float | None = None
+    iteration_cv: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("application needs a non-empty name")
+        if self.n_serial < 0:
+            raise ModelError(f"n_serial must be >= 0, got {self.n_serial}")
+        if self.n_parallel < 1:
+            raise ModelError(f"n_parallel must be >= 1, got {self.n_parallel}")
+        if self.serial_fraction is not None and not 0.0 <= self.serial_fraction < 1.0:
+            raise ModelError(
+                f"serial_fraction must be in [0, 1), got {self.serial_fraction}"
+            )
+        if self.serial_fraction is None and self.n_serial > 0 and self.total_iterations == self.n_serial:
+            raise ModelError("application cannot be 100% serial")
+        if self.iteration_cv < 0:
+            raise ModelError(f"iteration_cv must be >= 0, got {self.iteration_cv}")
+
+    # ------------------------------------------------------------- structure
+
+    @property
+    def total_iterations(self) -> int:
+        return self.n_serial + self.n_parallel
+
+    @property
+    def serial_frac(self) -> float:
+        """Effective serial time fraction ``s`` used by Eq. (2)."""
+        if self.serial_fraction is not None:
+            return self.serial_fraction
+        return self.n_serial / self.total_iterations
+
+    @property
+    def parallel_frac(self) -> float:
+        """Parallel time fraction ``p = 1 - s``."""
+        return 1.0 - self.serial_frac
+
+    # ------------------------------------------------------------ stage-I view
+
+    def single_proc_pmf(self, type_name: str) -> PMF:
+        """Total single-processor execution-time PMF on a processor type."""
+        return self.exec_time.pmf(type_name)
+
+    def parallel_time_pmf(self, type_name: str, n_processors: int) -> PMF:
+        """Eq. (2): parallel execution-time PMF on ``n`` processors."""
+        return amdahl_transform(
+            self.single_proc_pmf(type_name), self.serial_frac, n_processors
+        )
+
+    def expected_parallel_time(self, type_name: str, n_processors: int) -> float:
+        """``T^exp`` of the application on ``n`` processors of a type."""
+        return self.parallel_time_pmf(type_name, n_processors).mean()
+
+    # ----------------------------------------------------------- stage-II view
+
+    def serial_iteration_model(self, type_name: str) -> IterationTimeModel | None:
+        """Per-serial-iteration time model; ``None`` if no serial iterations."""
+        if self.n_serial == 0 or self.serial_frac == 0.0:
+            return None
+        mean_total = self.exec_time.mean(type_name)
+        return IterationTimeModel(
+            mean=self.serial_frac * mean_total / self.n_serial,
+            cv=self.iteration_cv,
+        )
+
+    def parallel_iteration_model(self, type_name: str) -> IterationTimeModel:
+        """Per-parallel-iteration time model on a processor type."""
+        mean_total = self.exec_time.mean(type_name)
+        return IterationTimeModel(
+            mean=self.parallel_frac * mean_total / self.n_parallel,
+            cv=self.iteration_cv,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Application({self.name!r}, serial={self.n_serial}, "
+            f"parallel={self.n_parallel}, s={self.serial_frac:.3f})"
+        )

@@ -1,0 +1,115 @@
+"""Batches of applications (the unit stage I maps onto the system).
+
+Applications "arrive at random intervals in the queue of a resource manager"
+and are "assigned to available resources in batches" (paper §III-B). A
+:class:`Batch` is the ordered, immutable collection of applications that one
+stage-I mapping decision covers; :class:`ApplicationQueue` models the
+arrival queue from which batches are formed, for multi-batch studies
+(paper §V future work).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import ModelError
+from .application import Application
+
+__all__ = ["Batch", "ApplicationQueue"]
+
+
+class Batch:
+    """An ordered batch of uniquely named applications."""
+
+    def __init__(self, applications: Iterable[Application]) -> None:
+        apps = tuple(applications)
+        if not apps:
+            raise ModelError("a batch needs at least one application")
+        names = [a.name for a in apps]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate application names in batch: {names}")
+        self._apps = apps
+        self._by_name = {a.name: a for a in apps}
+
+    @property
+    def applications(self) -> tuple[Application, ...]:
+        return self._apps
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._apps)
+
+    def app(self, key: str | int) -> Application:
+        """Look up an application by name or positional index."""
+        if isinstance(key, int):
+            try:
+                return self._apps[key]
+            except IndexError:
+                raise ModelError(
+                    f"application index {key} out of range (batch of {len(self)})"
+                ) from None
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise ModelError(f"unknown application {key!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    def __iter__(self) -> Iterator[Application]:
+        return iter(self._apps)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def total_iterations(self) -> int:
+        """Sum of all iteration counts across the batch."""
+        return sum(a.total_iterations for a in self._apps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Batch({', '.join(self.names)})"
+
+
+class ApplicationQueue:
+    """FIFO arrival queue from which fixed-size batches are drawn.
+
+    The queue records arrival times so multi-batch studies can compute
+    waiting times; stage I itself only needs the resulting :class:`Batch`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, Application]] = []
+
+    def arrive(self, app: Application, time: float = 0.0) -> None:
+        """Enqueue an application arriving at the given time."""
+        if time < 0:
+            raise ModelError(f"arrival time must be >= 0, got {time}")
+        if self._entries and time < self._entries[-1][0]:
+            raise ModelError(
+                f"arrivals must be time-ordered: {time} < {self._entries[-1][0]}"
+            )
+        self._entries.append((time, app))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def arrival_times(self) -> tuple[float, ...]:
+        return tuple(t for t, _ in self._entries)
+
+    def next_batch(self, size: int) -> Batch:
+        """Dequeue the ``size`` oldest applications as a batch."""
+        if size < 1:
+            raise ModelError(f"batch size must be >= 1, got {size}")
+        if size > len(self._entries):
+            raise ModelError(
+                f"queue holds {len(self._entries)} applications, "
+                f"cannot form a batch of {size}"
+            )
+        taken = self._entries[:size]
+        self._entries = self._entries[size:]
+        return Batch(app for _, app in taken)
+
+    def drain(self) -> Batch:
+        """Dequeue everything currently waiting as one batch."""
+        return self.next_batch(len(self._entries))

@@ -1,0 +1,189 @@
+"""Synthetic workload and system generators for large-scale studies.
+
+The paper's evaluation is a 3-application / 12-processor example; its §V
+future work calls for "a larger scale problem ... more applications, i.e.,
+in a larger batch or in multiple batches, on a larger computing system".
+These generators produce such instances with controlled heterogeneity so the
+scalable RA heuristics and the full DLS family can be exercised beyond the
+paper example (benchmarks ``abl-ra`` and ``abl-scale``).
+
+All generation is driven by a seeded RNG; the same seed yields the same
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..pmf import PMF, percent_availability
+from ..rng import ensure_rng
+from ..system import HeterogeneousSystem, ProcessorType
+from .application import Application
+from .batch import Batch
+from .exectime import normal_exectime_model
+
+__all__ = [
+    "WorkloadSpec",
+    "random_availability_pmf",
+    "random_system",
+    "random_application",
+    "random_batch",
+    "random_instance",
+    "degraded_availability",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs for synthetic instance generation.
+
+    ``task_heterogeneity`` / ``machine_heterogeneity`` follow the classic
+    ETC-matrix terminology: they control the spread of mean execution times
+    across applications and across processor types respectively.
+    """
+
+    n_apps: int = 8
+    n_types: int = 3
+    procs_per_type: tuple[int, int] = (4, 16)  # inclusive range
+    mean_time_base: float = 2_000.0
+    task_heterogeneity: float = 0.5
+    machine_heterogeneity: float = 0.5
+    serial_fraction_range: tuple[float, float] = (0.02, 0.3)
+    parallel_iterations_range: tuple[int, int] = (512, 8192)
+    availability_levels: int = 3
+    min_availability: float = 0.2
+    cv: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n_apps < 1 or self.n_types < 1:
+            raise ModelError("need at least one application and one type")
+        if self.procs_per_type[0] < 1 or self.procs_per_type[0] > self.procs_per_type[1]:
+            raise ModelError(f"bad procs_per_type range {self.procs_per_type}")
+        if self.mean_time_base <= 0:
+            raise ModelError("mean_time_base must be positive")
+        if not 0 <= self.serial_fraction_range[0] <= self.serial_fraction_range[1] < 1:
+            raise ModelError(f"bad serial fraction range {self.serial_fraction_range}")
+        if self.availability_levels < 1:
+            raise ModelError("need at least one availability level")
+        if not 0 < self.min_availability <= 1:
+            raise ModelError("min_availability must be in (0, 1]")
+
+
+def random_availability_pmf(
+    rng, *, levels: int = 3, min_level: float = 0.2
+) -> PMF:
+    """Random availability PMF: sorted uniform levels, Dirichlet weights."""
+    gen = ensure_rng(rng)
+    vals = np.sort(gen.uniform(min_level, 1.0, size=levels))
+    vals[-1] = 1.0  # every machine is sometimes fully available
+    probs = gen.dirichlet(np.ones(levels))
+    return percent_availability(
+        [(float(v) * 100.0, float(p) * 100.0) for v, p in zip(vals, probs)]
+    )
+
+
+def random_system(
+    spec: WorkloadSpec, rng=None
+) -> HeterogeneousSystem:
+    """Generate a heterogeneous system per ``spec``."""
+    gen = ensure_rng(rng)
+    lo, hi = spec.procs_per_type
+    # Power-of-2-friendly counts so the paper's power-of-2 allocation
+    # constraint has room to work; fall back to the raw range if no power of
+    # two lies inside it.
+    pow2 = [1 << k for k in range(hi.bit_length() + 1) if lo <= (1 << k) <= hi]
+    types = []
+    for j in range(spec.n_types):
+        if pow2:
+            count = int(gen.choice(pow2))
+        else:
+            count = int(gen.integers(lo, hi + 1))
+        types.append(
+            ProcessorType(
+                name=f"type{j + 1}",
+                count=count,
+                availability=random_availability_pmf(
+                    gen,
+                    levels=spec.availability_levels,
+                    min_level=spec.min_availability,
+                ),
+            )
+        )
+    return HeterogeneousSystem(types)
+
+
+def random_application(
+    spec: WorkloadSpec,
+    system: HeterogeneousSystem,
+    rng=None,
+    *,
+    name: str = "app",
+) -> Application:
+    """Generate one application consistent with ``spec`` and ``system``.
+
+    Mean execution times follow the multiplicative ETC model:
+    ``mu_ij = base * task_factor_i * machine_factor_j`` with log-normal
+    factors whose sigma is the corresponding heterogeneity knob.
+    """
+    gen = ensure_rng(rng)
+    task_factor = float(gen.lognormal(0.0, spec.task_heterogeneity))
+    means = {
+        t.name: spec.mean_time_base
+        * task_factor
+        * float(gen.lognormal(0.0, spec.machine_heterogeneity))
+        for t in system.types
+    }
+    s_lo, s_hi = spec.serial_fraction_range
+    serial_fraction = float(gen.uniform(s_lo, s_hi))
+    n_parallel = int(
+        gen.integers(
+            spec.parallel_iterations_range[0], spec.parallel_iterations_range[1] + 1
+        )
+    )
+    # Choose a serial count consistent with the drawn fraction.
+    if serial_fraction > 0:
+        n_serial = max(1, round(n_parallel * serial_fraction / (1 - serial_fraction)))
+    else:
+        n_serial = 0
+    return Application(
+        name=name,
+        n_serial=n_serial,
+        n_parallel=n_parallel,
+        exec_time=normal_exectime_model(means, cv=spec.cv),
+        serial_fraction=serial_fraction,
+        iteration_cv=spec.cv,
+    )
+
+
+def random_batch(
+    spec: WorkloadSpec, system: HeterogeneousSystem, rng=None
+) -> Batch:
+    """Generate a batch of ``spec.n_apps`` applications."""
+    gen = ensure_rng(rng)
+    return Batch(
+        random_application(spec, system, gen, name=f"app{i + 1}")
+        for i in range(spec.n_apps)
+    )
+
+
+def random_instance(
+    spec: WorkloadSpec, rng=None
+) -> tuple[HeterogeneousSystem, Batch]:
+    """Generate a matched (system, batch) problem instance."""
+    gen = ensure_rng(rng)
+    system = random_system(spec, gen)
+    return system, random_batch(spec, system, gen)
+
+
+def degraded_availability(pmf: PMF, factor: float) -> PMF:
+    """Scale an availability PMF's levels by ``factor`` in ``(0, 1]``.
+
+    Produces runtime availability cases with a controlled percent decrease
+    in expected availability, generalizing the paper's Table I cases 2-4.
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ModelError(f"degradation factor must be in (0, 1], got {factor}")
+    return pmf.map_values(lambda v: np.maximum(v * factor, 1e-6))

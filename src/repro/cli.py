@@ -1,0 +1,320 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro tables                      # Tables I, IV, V + phi_1
+    python -m repro figure fig6 [--replications 30] [--seed 2012]
+    python -m repro scenario 4 [--replications 30]
+    python -m repro robustness                  # the (rho1, rho2) tuple
+    python -m repro techniques                  # list DLS techniques
+    python -m repro heuristics                  # list RA heuristics
+    python -m repro recommend [--synthetic N]   # policy advisor
+    python -m repro export instance.json        # save the paper instance
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .dls import ALL_TECHNIQUES
+from .framework import Scenario, run_scenario
+from .paper import (
+    data,
+    figure_series,
+    paper_cases,
+    paper_cdsf,
+    phi1_values,
+    table_i_rows,
+    table_iv_rows,
+    table_v_rows,
+    table_vi_rows,
+)
+from .ra import HEURISTICS
+from .reporting import render_table
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = {
+    1: Scenario.NAIVE_IM_NAIVE_RAS,
+    2: Scenario.ROBUST_IM_NAIVE_RAS,
+    3: Scenario.NAIVE_IM_ROBUST_RAS,
+    4: Scenario.ROBUST_IM_ROBUST_RAS,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CDSF reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I, IV, V and phi_1")
+
+    fig = sub.add_parser("figure", help="regenerate a figure's data series")
+    fig.add_argument("name", choices=["fig3", "fig4", "fig5", "fig6"])
+    fig.add_argument(
+        "--chart", action="store_true",
+        help="render the figure as terminal bar charts",
+    )
+    _sim_args(fig)
+
+    scen = sub.add_parser("scenario", help="run one of the four scenarios")
+    scen.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    _sim_args(scen)
+
+    rob = sub.add_parser("robustness", help="compute the (rho1, rho2) tuple")
+    _sim_args(rob)
+
+    sub.add_parser("techniques", help="list the implemented DLS techniques")
+    sub.add_parser("heuristics", help="list the implemented RA heuristics")
+
+    rec = sub.add_parser(
+        "recommend",
+        help="advise stage-I/II policies for the paper instance "
+        "(or a generated one)",
+    )
+    rec.add_argument(
+        "--synthetic", type=int, metavar="N_APPS", default=None,
+        help="advise for a generated instance with N_APPS applications "
+        "instead of the paper example",
+    )
+    rec.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser(
+        "export", help="write the paper instance as a JSON file"
+    )
+    exp.add_argument("path", help="output file, e.g. paper_instance.json")
+    return parser
+
+
+def _sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--replications", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--statistic", default="mean", choices=["mean", "median", "max", "p90"]
+    )
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def _cmd_tables() -> int:
+    _print(
+        render_table(
+            ["case", "type", "E[avail] %", "weighted %", "decrease %"],
+            table_i_rows(),
+            title="Table I",
+        )
+    )
+    _print(
+        render_table(
+            ["RA", "app", "type", "# procs"],
+            table_iv_rows(),
+            title="Table IV",
+        )
+    )
+    _print(
+        render_table(
+            ["RA", "app", "T^exp"], table_v_rows(), title="Table V"
+        )
+    )
+    values = phi1_values()
+    _print(
+        render_table(
+            ["RA", "phi1 % (measured)", "phi1 % (paper)"],
+            [(p, values[p], data.PHI1[p]) for p in ("naive", "robust")],
+            title="phi_1",
+        )
+    )
+    return 0
+
+
+def _figure_kwargs(args) -> dict:
+    kwargs = {"statistic": args.statistic}
+    if args.replications is not None:
+        kwargs["replications"] = args.replications
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def _cmd_figure(args) -> int:
+    series = figure_series(args.name, **_figure_kwargs(args))
+    if args.chart:
+        from .reporting import render_grouped_barchart
+
+        study = series.result.stage_ii
+        groups = {}
+        for case in study.case_ids:
+            for app in study.app_names:
+                groups[f"{case} / {app}"] = {
+                    tech: study.time(case, tech, app)
+                    for tech in study.technique_names
+                }
+        _print(
+            render_grouped_barchart(
+                groups,
+                marker=series.deadline,
+                marker_label=f"Delta = {series.deadline:g}",
+                title=f"{args.name} ({series.scenario.name})",
+            )
+        )
+        return 0
+    rows = [
+        (case, app, tech, t, "yes" if ok else "NO")
+        for case, app, tech, t, ok in series.rows
+    ]
+    _print(
+        render_table(
+            ["case", "app", "technique", "time", "meets deadline"],
+            rows,
+            title=f"{args.name} ({series.scenario.name}), Delta = {series.deadline:g}",
+        )
+    )
+    return 0
+
+
+def _cdsf_kwargs(args) -> dict:
+    kwargs = {"statistic": args.statistic}
+    if args.replications is not None:
+        kwargs["replications"] = args.replications
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def _cmd_scenario(args) -> int:
+    result = run_scenario(
+        _SCENARIOS[args.number], paper_cdsf(**_cdsf_kwargs(args)), paper_cases()
+    )
+    study = result.stage_ii
+    rows = []
+    for case in study.case_ids:
+        for app in study.app_names:
+            for tech in study.technique_names:
+                t = study.time(case, tech, app)
+                rows.append(
+                    (case, app, tech, t, "yes" if t <= data.DEADLINE else "NO")
+                )
+    _print(
+        render_table(
+            ["case", "app", "technique", "time", "meets deadline"],
+            rows,
+            title=f"Scenario {args.number}: {_SCENARIOS[args.number].name}",
+        )
+    )
+    print(
+        f"(rho1, rho2) = ({result.robustness.rho1:.1%}, "
+        f"{result.robustness.rho2:.2f}%)"
+    )
+    return 0
+
+
+def _cmd_robustness(args) -> int:
+    result = run_scenario(
+        Scenario.ROBUST_IM_ROBUST_RAS,
+        paper_cdsf(**_cdsf_kwargs(args)),
+        paper_cases(),
+    )
+    _print(
+        render_table(
+            ["app", *result.stage_ii.case_ids],
+            [
+                (
+                    app,
+                    *(
+                        best or "-"
+                        for best in (
+                            result.stage_ii.best_technique(case, app)
+                            for case in result.stage_ii.case_ids
+                        )
+                    ),
+                )
+                for app in result.stage_ii.app_names
+            ],
+            title="Table VI (best deadline-meeting DLS)",
+        )
+    )
+    print(
+        f"measured (rho1, rho2) = ({100 * result.robustness.rho1:.2f}%, "
+        f"{result.robustness.rho2:.2f}%)  |  paper: "
+        f"({data.RHO[0]}%, {data.RHO[1]}%)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
+    if args.command == "techniques":
+        for name, cls in sorted(ALL_TECHNIQUES.items()):
+            tech = cls()
+            kind = "adaptive" if tech.adaptive else "non-adaptive"
+            print(f"{name:8s} {kind:14s} {cls.__doc__.strip().splitlines()[0]}")
+        return 0
+    if args.command == "heuristics":
+        for name, cls in sorted(HEURISTICS.items()):
+            print(f"{name:22s} {cls.__doc__.strip().splitlines()[0]}")
+        return 0
+    if args.command == "recommend":
+        return _cmd_recommend(args)
+    if args.command == "export":
+        from .io import save_instance
+        from .paper import data, paper_batch, paper_system
+
+        path = save_instance(
+            args.path,
+            paper_system("case1"),
+            paper_batch(),
+            deadline=data.DEADLINE,
+            metadata={"source": "Ciorba et al., IPDPS-W 2012, SS IV example"},
+        )
+        print(f"wrote {path}")
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_recommend(args) -> int:
+    from .framework import extract_features, recommend
+    from .paper import paper_batch, paper_system
+
+    if args.synthetic is not None:
+        from .apps import WorkloadSpec, random_instance
+
+        system, batch = random_instance(
+            WorkloadSpec(n_apps=args.synthetic), args.seed
+        )
+        label = f"generated instance ({args.synthetic} applications)"
+    else:
+        batch, system = paper_batch(), paper_system("case1")
+        label = "paper instance"
+    features = extract_features(batch, system, overhead=1.0)
+    rec = recommend(features)
+    print(f"Instance: {label}")
+    print(
+        f"  {features.n_apps} applications, {features.total_processors} "
+        f"processors in {features.n_types} types; allocation space bound "
+        f"{features.allocation_space_bound:.3g}; availability cv "
+        f"{features.availability_cv:.2f}"
+    )
+    print(f"Stage I : {rec.stage1}")
+    print(f"Stage II: {rec.stage2}")
+    for why in rec.rationale:
+        print(f"  - {why}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

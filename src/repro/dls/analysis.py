@@ -1,0 +1,119 @@
+"""Closed-form / simulation-free analysis of chunk schedules.
+
+Answers "what would this technique dispatch?" without the full simulator:
+drive a session with a deterministic round-robin request order and uniform
+measurements, and derive the chunk-size profile, dispatch counts, and the
+overhead the schedule pays. Used for technique selection guidance (the
+paper's §V "study of the factors to be considered in guiding the choice of
+heuristics used in either stage") and by the documentation examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .base import DLSTechnique, WorkerState
+
+__all__ = ["ChunkProfile", "chunk_profile", "overhead_fraction"]
+
+
+@dataclass(frozen=True)
+class ChunkProfile:
+    """Static dispatch profile of one technique on one loop shape."""
+
+    technique: str
+    n_iterations: int
+    n_workers: int
+    sizes: tuple[int, ...]
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def largest(self) -> int:
+        return max(self.sizes)
+
+    @property
+    def smallest(self) -> int:
+        return min(self.sizes)
+
+    @property
+    def mean_size(self) -> float:
+        return self.n_iterations / self.n_chunks
+
+    def scheduling_overhead(self, per_chunk: float) -> float:
+        """Total dispatch cost at ``per_chunk`` overhead units per chunk."""
+        return per_chunk * self.n_chunks
+
+
+def chunk_profile(
+    technique: DLSTechnique,
+    n_iterations: int,
+    n_workers: int,
+    *,
+    iteration_time: float = 1.0,
+    iteration_cv: float = 0.0,
+    seed: int = 0,
+    max_chunks: int = 10_000_000,
+) -> ChunkProfile:
+    """Dispatch profile under round-robin requests and uniform progress.
+
+    Adaptive techniques receive synthetic measurements: iid iteration times
+    with the given mean and coefficient of variation, so their rules are
+    exercised the way the simulator would (at zero heterogeneity).
+    """
+    if n_iterations < 1 or n_workers < 1:
+        raise SchedulingError("need >= 1 iteration and >= 1 worker")
+    workers = [WorkerState(worker_id=i) for i in range(n_workers)]
+    session = technique.session(n_iterations, workers)
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    done: set[int] = set()
+    w = 0
+    while len(done) < n_workers:
+        wid = w % n_workers
+        w += 1
+        if wid in done:
+            continue
+        size = session.next_chunk(wid)
+        if size == 0:
+            done.add(wid)
+            continue
+        if iteration_cv > 0:
+            shape = 1.0 / iteration_cv**2
+            times = rng.gamma(shape, iteration_time * iteration_cv**2, size)
+        else:
+            times = np.full(size, iteration_time)
+        session.record(wid, size, times)
+        sizes.append(size)
+        if len(sizes) > max_chunks:
+            raise SchedulingError(
+                f"technique dispatched more than {max_chunks} chunks"
+            )
+    return ChunkProfile(
+        technique=technique.name,
+        n_iterations=n_iterations,
+        n_workers=n_workers,
+        sizes=tuple(sizes),
+    )
+
+
+def overhead_fraction(
+    profile: ChunkProfile,
+    *,
+    per_chunk_overhead: float,
+    iteration_time: float = 1.0,
+) -> float:
+    """Scheduling overhead as a fraction of the total dedicated work.
+
+    The classic DLS trade-off in one number: SS maximizes it, STATIC
+    minimizes it, factoring techniques sit logarithmically in between.
+    """
+    work = profile.n_iterations * iteration_time
+    if work <= 0:
+        raise SchedulingError("non-positive total work")
+    return profile.scheduling_overhead(per_chunk_overhead) / work

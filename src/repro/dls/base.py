@@ -1,0 +1,195 @@
+"""Dynamic loop scheduling (DLS) technique interface.
+
+A DLS technique decides, every time a processor becomes free, how many of
+the remaining parallel loop iterations it should execute next (a *chunk*).
+The simulator drives the technique through a per-execution
+:class:`SchedulingSession`:
+
+* :meth:`SchedulingSession.next_chunk` — called when a worker requests
+  work; returns the chunk size (0 when no iterations remain).
+* :meth:`SchedulingSession.record` — called when a chunk completes, with
+  the measured per-iteration wall-clock times. Non-adaptive techniques
+  ignore it; adaptive techniques (AWF variants, AF) update their estimates.
+
+Techniques are immutable specification objects; all mutable state lives in
+the session, so one technique instance can serve many concurrent simulated
+applications ("a single DLS technique may be employed for several
+applications as several distinct instances", paper §III-B).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchedulingError
+
+__all__ = ["WorkerState", "SchedulingSession", "DLSTechnique"]
+
+
+@dataclass
+class WorkerState:
+    """Per-worker runtime statistics a session may consult.
+
+    ``relative_power`` is the a-priori weight (capacity x expected
+    availability) used by weighted techniques; measured quantities
+    accumulate as chunks complete.
+    """
+
+    worker_id: int
+    relative_power: float = 1.0
+    iterations_done: int = 0
+    chunks_done: int = 0
+    total_time: float = 0.0  # wall-clock time spent computing iterations
+    total_chunk_time: float = 0.0  # including per-chunk overhead
+    # Sufficient statistics of per-iteration wall times (for AF):
+    sum_t: float = 0.0
+    sum_t2: float = 0.0
+    # Chunk-indexed history of mean iteration times (for AWF weighting):
+    chunk_means: list[tuple[int, float]] = field(default_factory=list)
+    chunk_total_means: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def mean_iter_time(self) -> float | None:
+        """Measured mean wall time per iteration, or None before any data."""
+        if self.iterations_done == 0:
+            return None
+        return self.sum_t / self.iterations_done
+
+    @property
+    def var_iter_time(self) -> float | None:
+        """Measured variance of per-iteration wall times (biased), or None."""
+        if self.iterations_done < 2:
+            return None
+        mean = self.sum_t / self.iterations_done
+        return max(0.0, self.sum_t2 / self.iterations_done - mean * mean)
+
+
+class SchedulingSession(ABC):
+    """Mutable state of one loop execution under one DLS technique."""
+
+    def __init__(self, n_iterations: int, workers: list[WorkerState]) -> None:
+        if n_iterations < 0:
+            raise SchedulingError(
+                f"iteration count must be >= 0, got {n_iterations}"
+            )
+        if not workers:
+            raise SchedulingError("a scheduling session needs >= 1 worker")
+        self._n = n_iterations
+        self._remaining = n_iterations
+        self._workers = {w.worker_id: w for w in workers}
+        if len(self._workers) != len(workers):
+            raise SchedulingError("duplicate worker ids")
+        self._scheduled = 0
+        self._chunk_log: list[tuple[int, int]] = []  # (worker_id, size)
+
+    # ------------------------------------------------------------------ intro
+
+    @property
+    def n_iterations(self) -> int:
+        return self._n
+
+    @property
+    def remaining(self) -> int:
+        """Iterations not yet handed out."""
+        return self._remaining
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> dict[int, WorkerState]:
+        return self._workers
+
+    @property
+    def chunk_log(self) -> list[tuple[int, int]]:
+        """Dispatch history as ``(worker_id, chunk size)`` pairs."""
+        return list(self._chunk_log)
+
+    # ------------------------------------------------------------- scheduling
+
+    def next_chunk(self, worker_id: int) -> int:
+        """Chunk size for the requesting worker; 0 when the loop is drained."""
+        if worker_id not in self._workers:
+            raise SchedulingError(f"unknown worker id {worker_id}")
+        if self._remaining == 0:
+            return 0
+        size = int(self._compute_chunk(worker_id))
+        if size < 1:
+            size = 1
+        size = min(size, self._remaining)
+        self._remaining -= size
+        self._scheduled += size
+        self._chunk_log.append((worker_id, size))
+        return size
+
+    @abstractmethod
+    def _compute_chunk(self, worker_id: int) -> int:
+        """Technique-specific chunk rule. Clamping is handled by the caller."""
+
+    # ------------------------------------------------------------- measurement
+
+    def record(
+        self,
+        worker_id: int,
+        chunk_size: int,
+        iteration_times: np.ndarray,
+        *,
+        chunk_time: float | None = None,
+    ) -> None:
+        """Report a completed chunk.
+
+        ``iteration_times`` are the measured wall-clock times of the chunk's
+        iterations on the executing worker; ``chunk_time`` additionally
+        includes the scheduling overhead (used by AWF-D/E style weighting).
+        """
+        if worker_id not in self._workers:
+            raise SchedulingError(f"unknown worker id {worker_id}")
+        times = np.asarray(iteration_times, dtype=np.float64)
+        if times.size != chunk_size:
+            raise SchedulingError(
+                f"got {times.size} iteration times for a chunk of {chunk_size}"
+            )
+        w = self._workers[worker_id]
+        w.iterations_done += chunk_size
+        w.chunks_done += 1
+        total = float(times.sum())
+        w.total_time += total
+        w.total_chunk_time += chunk_time if chunk_time is not None else total
+        w.sum_t += total
+        w.sum_t2 += float((times * times).sum())
+        if chunk_size > 0:
+            w.chunk_means.append((w.chunks_done, total / chunk_size))
+            w.chunk_total_means.append(
+                (
+                    w.chunks_done,
+                    (chunk_time if chunk_time is not None else total) / chunk_size,
+                )
+            )
+        self._on_record(worker_id, chunk_size, times)
+
+    def _on_record(
+        self, worker_id: int, chunk_size: int, iteration_times: np.ndarray
+    ) -> None:
+        """Hook for adaptive techniques; default is a no-op."""
+
+
+class DLSTechnique(ABC):
+    """Immutable DLS technique specification; a factory of sessions."""
+
+    #: Registry identifier, e.g. ``"FAC"``.
+    name: str = "abstract"
+    #: Whether the technique updates its rule from runtime measurements.
+    adaptive: bool = False
+
+    @abstractmethod
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
+        """Create the mutable state for one loop execution."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

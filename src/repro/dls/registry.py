@@ -1,0 +1,81 @@
+"""Name-based registry of DLS techniques.
+
+The framework layer and the CLI-ish example scripts refer to techniques by
+their literature names ("FAC", "AWF-B", ...); this module centralizes the
+mapping. :data:`PAPER_TECHNIQUES` is the robust set the paper evaluates in
+stage II; :data:`ALL_TECHNIQUES` adds the survey/extension techniques.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .base import DLSTechnique
+from .nonadaptive import (
+    Static,
+    SelfScheduling,
+    FixedSizeChunking,
+    ModifiedFSC,
+    Guided,
+    Trapezoid,
+    TrapezoidFactoring,
+)
+from .factoring import Factoring, ProbabilisticFactoring, WeightedFactoring
+from .adaptive import (
+    AdaptiveWeightedFactoring,
+    AWFBatch,
+    AWFChunk,
+    AWFBatchChunkTime,
+    AWFChunkChunkTime,
+    AdaptiveFactoring,
+)
+
+__all__ = [
+    "ALL_TECHNIQUES",
+    "PAPER_TECHNIQUES",
+    "ROBUST_SET",
+    "make_technique",
+]
+
+#: Factories for every implemented technique, keyed by literature name.
+ALL_TECHNIQUES: dict[str, type[DLSTechnique]] = {
+    "STATIC": Static,
+    "SS": SelfScheduling,
+    "FSC": FixedSizeChunking,
+    "mFSC": ModifiedFSC,
+    "GSS": Guided,
+    "TSS": Trapezoid,
+    "TFSS": TrapezoidFactoring,
+    "FAC": Factoring,
+    "FAC-P": ProbabilisticFactoring,
+    "WF": WeightedFactoring,
+    "AWF": AdaptiveWeightedFactoring,
+    "AWF-B": AWFBatch,
+    "AWF-C": AWFChunk,
+    "AWF-D": AWFBatchChunkTime,
+    "AWF-E": AWFChunkChunkTime,
+    "AF": AdaptiveFactoring,
+}
+
+#: The robust DLS set the paper employs in stage II (§III-B).
+ROBUST_SET: tuple[str, ...] = ("FAC", "WF", "AWF-B", "AF")
+
+#: Every technique exercised in the paper's scenarios (robust set + STATIC).
+PAPER_TECHNIQUES: tuple[str, ...] = ("STATIC",) + ROBUST_SET
+
+
+def make_technique(name: str, **kwargs) -> DLSTechnique:
+    """Instantiate a technique by its literature name.
+
+    ``kwargs`` are forwarded to the technique's constructor (e.g.
+    ``make_technique("FAC", factor=3.0)``).
+    """
+    cls = ALL_TECHNIQUES.get(name)
+    if cls is None:
+        # Case-insensitive fallback (mFSC vs MFSC etc.).
+        by_fold = {key.casefold(): value for key, value in ALL_TECHNIQUES.items()}
+        cls = by_fold.get(name.casefold())
+    if cls is None:
+        raise SchedulingError(
+            f"unknown DLS technique {name!r}; known: {sorted(ALL_TECHNIQUES)}"
+        )
+    return cls(**kwargs)

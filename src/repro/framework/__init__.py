@@ -1,0 +1,62 @@
+"""The combined dual-stage framework: orchestration, scenarios, robustness."""
+
+from .robustness import (
+    availability_decrease,
+    stage_ii_robustness,
+    SystemRobustness,
+)
+from .study import StudyConfig, StudyResult, DLSStudy
+from .cdsf import CDSF, CDSFResult
+from .sensitivity import (
+    deadline_curve,
+    min_deadline_for,
+    degradation_curve,
+    analytic_tolerance,
+)
+from .multibatch import BatchOutcome, MultiBatchResult, MultiBatchScheduler
+from .reports import format_stage_i, format_stage_ii, format_full_report
+from .fepia import RadiusReport, per_type_radius, robustness_radii
+from .selector import InstanceFeatures, Recommendation, extract_features, recommend
+from .autotune import TechniqueSelection, select_techniques
+from .scenarios import (
+    Scenario,
+    ScenarioSpec,
+    scenario_spec,
+    run_scenario,
+    run_all_scenarios,
+)
+
+__all__ = [
+    "availability_decrease",
+    "stage_ii_robustness",
+    "SystemRobustness",
+    "StudyConfig",
+    "StudyResult",
+    "DLSStudy",
+    "CDSF",
+    "CDSFResult",
+    "deadline_curve",
+    "min_deadline_for",
+    "degradation_curve",
+    "analytic_tolerance",
+    "BatchOutcome",
+    "MultiBatchResult",
+    "MultiBatchScheduler",
+    "format_stage_i",
+    "format_stage_ii",
+    "format_full_report",
+    "RadiusReport",
+    "per_type_radius",
+    "robustness_radii",
+    "InstanceFeatures",
+    "Recommendation",
+    "extract_features",
+    "recommend",
+    "TechniqueSelection",
+    "select_techniques",
+    "Scenario",
+    "ScenarioSpec",
+    "scenario_spec",
+    "run_scenario",
+    "run_all_scenarios",
+]

@@ -1,0 +1,88 @@
+"""Operational per-application DLS selection (Table VI as a decision).
+
+The paper's Table VI is descriptive — which technique *was* best per
+application per case. Operationally, a resource manager must *choose* a
+technique per application before the batch runs (the choice "cannot be
+changed during runtime", §III-B). This module implements that decision via
+a pilot study: simulate a small number of replications of each candidate
+technique on the expected availability, pick per application the technique
+with the best (lowest) pilot statistic among deadline-meeting candidates —
+falling back to the overall-fastest when none meets the deadline — and
+return the assignment for the real run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..apps import Batch
+from ..dls import DLSTechnique, ROBUST_SET, make_technique
+from ..errors import ModelError
+from ..ra import Allocation
+from ..system import HeterogeneousSystem
+from .study import DLSStudy, StudyConfig, StudyResult
+
+__all__ = ["TechniqueSelection", "select_techniques"]
+
+
+@dataclass(frozen=True)
+class TechniqueSelection:
+    """Per-application technique assignment plus the pilot evidence."""
+
+    assignment: dict[str, DLSTechnique]
+    pilot: StudyResult
+    deadline_met: dict[str, bool]
+
+    def names(self) -> dict[str, str]:
+        return {app: tech.name for app, tech in self.assignment.items()}
+
+
+def select_techniques(
+    batch: Batch,
+    allocation: Allocation,
+    system: HeterogeneousSystem,
+    config: StudyConfig,
+    *,
+    candidates: Sequence[str | DLSTechnique] = ROBUST_SET,
+    pilot_replications: int = 5,
+) -> TechniqueSelection:
+    """Choose one DLS technique per application from a pilot study.
+
+    ``system`` carries the availability the pilot simulates under (the
+    expected availability at selection time). ``config``'s deadline and
+    simulator knobs are used; its replication count is overridden by
+    ``pilot_replications``.
+    """
+    if pilot_replications < 1:
+        raise ModelError("need at least one pilot replication")
+    if not candidates:
+        raise ModelError("need at least one candidate technique")
+    pilot_config = StudyConfig(
+        deadline=config.deadline,
+        replications=pilot_replications,
+        statistic=config.statistic,
+        seed=config.seed,
+        sim=config.sim,
+    )
+    study = DLSStudy(batch, allocation, pilot_config)
+    pilot = study.run({"pilot": system}, list(candidates))
+
+    assignment: dict[str, DLSTechnique] = {}
+    deadline_met: dict[str, bool] = {}
+    for app in pilot.app_names:
+        best = pilot.best_technique("pilot", app)
+        if best is None:
+            # Nothing meets the deadline: take the fastest anyway (least
+            # violation), flagged in deadline_met.
+            best = min(
+                pilot.technique_names,
+                key=lambda tech: pilot.time("pilot", tech, app),
+            )
+            deadline_met[app] = False
+        else:
+            deadline_met[app] = True
+        assignment[app] = make_technique(best)
+    return TechniqueSelection(
+        assignment=assignment, pilot=pilot, deadline_met=deadline_met
+    )

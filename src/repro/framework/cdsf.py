@@ -1,0 +1,136 @@
+"""The combined dual-stage framework (CDSF) orchestrator.
+
+Ties the two stages together exactly as the paper describes (§III): a
+stage-I RA heuristic produces the initial mapping and its robustness
+``phi_1``; stage II executes the batch on the mapped groups under a set of
+DLS techniques across runtime availability cases, yielding the per-case
+execution times, the best-technique table, and the tolerated availability
+decrease. The result carries the system-robustness 2-tuple
+``(rho_1, rho_2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from ..apps import Batch
+from ..dls import DLSTechnique
+from ..errors import ModelError
+from ..ra import AllocationReport, RAHeuristic, RAResult, StageIEvaluator
+from ..system import HeterogeneousSystem
+from .robustness import SystemRobustness, availability_decrease
+from .study import DLSStudy, StudyConfig, StudyResult
+
+__all__ = ["CDSF", "CDSFResult"]
+
+
+@dataclass(frozen=True)
+class CDSFResult:
+    """Everything a CDSF run produces."""
+
+    stage_i: RAResult
+    stage_i_report: AllocationReport
+    stage_ii: StudyResult
+    robustness: SystemRobustness
+    availability_decreases: dict[str, float]  # per case, percent vs reference
+
+    @property
+    def allocation(self):
+        return self.stage_i.allocation
+
+    def best_technique_table(self) -> dict[str, dict[str, str | None]]:
+        """Table-VI-shaped summary of the stage-II study."""
+        return self.stage_ii.best_technique_table()
+
+
+class CDSF:
+    """Combined dual-stage framework for one (batch, system, deadline).
+
+    Parameters
+    ----------
+    batch, system:
+        The applications and the heterogeneous system. ``system`` carries
+        the *historical/expected* availability PMFs (the paper's ``A_hat``)
+        used by stage I and as the reference for ``rho_2``.
+    study_config:
+        Stage-II simulation configuration (deadline, replications,
+        statistic, simulator knobs). Its deadline is the system deadline
+        ``Delta`` for both stages.
+    """
+
+    def __init__(
+        self,
+        batch: Batch,
+        system: HeterogeneousSystem,
+        study_config: StudyConfig,
+    ) -> None:
+        self._batch = batch
+        self._system = system
+        self._config = study_config
+        self._evaluator = StageIEvaluator(batch, system, study_config.deadline)
+
+    @property
+    def batch(self) -> Batch:
+        return self._batch
+
+    @property
+    def system(self) -> HeterogeneousSystem:
+        return self._system
+
+    @property
+    def deadline(self) -> float:
+        return self._config.deadline
+
+    @property
+    def evaluator(self) -> StageIEvaluator:
+        return self._evaluator
+
+    # ------------------------------------------------------------------ stages
+
+    def run_stage_i(self, heuristic: RAHeuristic) -> RAResult:
+        """Initial mapping with the given RA heuristic."""
+        return heuristic.allocate(self._evaluator)
+
+    def run_stage_ii(
+        self,
+        stage_i: RAResult,
+        cases: Mapping[str, HeterogeneousSystem],
+        techniques: Sequence[str | DLSTechnique],
+    ) -> StudyResult:
+        """Runtime application scheduling study on the stage-I allocation."""
+        study = DLSStudy(self._batch, stage_i.allocation, self._config)
+        return study.run(cases, techniques)
+
+    def run(
+        self,
+        heuristic: RAHeuristic,
+        cases: Mapping[str, HeterogeneousSystem],
+        techniques: Sequence[str | DLSTechnique],
+    ) -> CDSFResult:
+        """Full dual-stage run; see :class:`CDSFResult`."""
+        if not cases:
+            raise ModelError("need at least one runtime availability case")
+        stage_i = self.run_stage_i(heuristic)
+        report = self._evaluator.report(stage_i.allocation)
+        stage_ii = self.run_stage_ii(stage_i, cases, techniques)
+        decreases = {
+            case_id: availability_decrease(self._system, case_system)
+            for case_id, case_system in cases.items()
+        }
+        tolerable = stage_ii.tolerable_cases()
+        rho2 = max(
+            (
+                decreases[case_id]
+                for case_id, ok in tolerable.items()
+                if ok and decreases[case_id] > 0
+            ),
+            default=0.0,
+        )
+        return CDSFResult(
+            stage_i=stage_i,
+            stage_i_report=report,
+            stage_ii=stage_ii,
+            robustness=SystemRobustness(rho1=stage_i.robustness, rho2=rho2),
+            availability_decreases=decreases,
+        )

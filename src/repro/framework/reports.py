@@ -1,0 +1,115 @@
+"""Human-readable reports of CDSF results.
+
+Composes the reporting primitives (tables, bar charts) into the complete
+summary a user wants after a run: the stage-I mapping with its
+probabilities, the stage-II grid with deadline flags, the best-technique
+table, per-case tolerability, and the robustness tuple. Used by the CLI and
+by the examples; returns plain strings so callers decide where they go.
+"""
+
+from __future__ import annotations
+
+from ..reporting import render_grouped_barchart, render_table
+from .cdsf import CDSFResult
+
+__all__ = ["format_stage_i", "format_stage_ii", "format_full_report"]
+
+
+def format_stage_i(result: CDSFResult) -> str:
+    """The allocation, per-application probabilities, and phi_1."""
+    report = result.stage_i_report
+    table = render_table(
+        ["application", "type", "# procs", "Pr(T <= Delta)", "E[T]"],
+        [
+            (
+                app,
+                group.ptype.name,
+                group.size,
+                report.per_app_prob[app],
+                report.expected_times[app],
+            )
+            for app, group in result.allocation.items()
+        ],
+        title=f"Stage I ({result.stage_i.heuristic}): initial mapping",
+        floatfmt=".3f",
+    )
+    return (
+        f"{table}\n"
+        f"phi_1 = Pr(Psi <= Delta) = {result.robustness.rho1:.2%} "
+        f"({result.stage_i.evaluations} allocations evaluated)"
+    )
+
+
+def format_stage_ii(result: CDSFResult, *, chart: bool = False) -> str:
+    """The per-case execution-time grid (table or bar charts)."""
+    study = result.stage_ii
+    deadline = study.config.deadline
+    if chart:
+        groups = {
+            f"{case} / {app}": {
+                tech: study.time(case, tech, app)
+                for tech in study.technique_names
+            }
+            for case in study.case_ids
+            for app in study.app_names
+        }
+        return render_grouped_barchart(
+            groups,
+            marker=deadline,
+            marker_label=f"Delta = {deadline:g}",
+            title="Stage II: simulated execution times",
+        )
+    rows = []
+    for case in study.case_ids:
+        for app in study.app_names:
+            cells = []
+            for tech in study.technique_names:
+                t = study.time(case, tech, app)
+                cells.append(f"{t:.0f}{'' if t <= deadline else '!'}")
+            rows.append((case, app, *cells))
+    return render_table(
+        ["case", "app", *study.technique_names],
+        rows,
+        title=f"Stage II: execution times (Delta = {deadline:g}; '!' = violated)",
+    )
+
+
+def format_full_report(result: CDSFResult, *, chart: bool = False) -> str:
+    """Everything: both stages, Table-VI view, tolerability, (rho1, rho2)."""
+    study = result.stage_ii
+    best = render_table(
+        ["application", *study.case_ids],
+        [
+            (
+                app,
+                *(
+                    study.best_technique(case, app) or "-"
+                    for case in study.case_ids
+                ),
+            )
+            for app in study.app_names
+        ],
+        title="Best deadline-meeting DLS technique",
+    )
+    tolerable = study.tolerable_cases()
+    tol = render_table(
+        ["case", "availability decrease %", "tolerable"],
+        [
+            (case, result.availability_decreases[case], tolerable[case])
+            for case in study.case_ids
+        ],
+        title="Per-case tolerability",
+    )
+    rho = (
+        f"System robustness: (rho1, rho2) = "
+        f"({result.robustness.rho1:.2%}, {result.robustness.rho2:.2f}%)"
+    )
+    return "\n\n".join(
+        [
+            format_stage_i(result),
+            format_stage_ii(result, chart=chart),
+            best,
+            tol,
+            rho,
+        ]
+    )

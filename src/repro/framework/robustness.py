@@ -1,0 +1,84 @@
+"""Robustness quantification of the CDSF (paper §III-C, question 3).
+
+* Stage-I robustness ``rho_1``: the joint probability that all applications
+  complete by the deadline under the historical availability — the best
+  value achieved by the stage-I heuristic.
+* Stage-II robustness ``rho_2``: the largest percent decrease in *weighted
+  system availability* (Eq. 1), relative to the reference case, that all
+  applications tolerate without violating the deadline —
+  ``1 - E[A_c] / E[A_hat]`` over the tolerable cases ``c``.
+
+The system robustness is the 2-tuple ``(rho_1, rho_2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from ..errors import ModelError
+from ..system import HeterogeneousSystem
+
+__all__ = [
+    "availability_decrease",
+    "stage_ii_robustness",
+    "SystemRobustness",
+]
+
+
+def availability_decrease(
+    reference: HeterogeneousSystem, case: HeterogeneousSystem
+) -> float:
+    """Percent decrease of weighted availability vs the reference (Table I).
+
+    The bracketed values of the paper's Table I: ``1 - E[A_c]/E[A_hat]``,
+    in percent. Negative values mean the case is *more* available.
+    """
+    ref = reference.weighted_availability()
+    if ref <= 0:
+        raise ModelError("reference weighted availability must be positive")
+    return 100.0 * (1.0 - case.weighted_availability() / ref)
+
+
+def stage_ii_robustness(
+    reference: HeterogeneousSystem,
+    cases: Mapping[str, HeterogeneousSystem],
+    tolerable: Mapping[str, bool],
+) -> float:
+    """``rho_2``: the largest tolerated availability decrease, in percent.
+
+    ``tolerable[case]`` states whether every application could meet the
+    deadline in that case (with the best per-application DLS technique).
+    Cases with non-positive decrease (at or above the reference
+    availability) contribute 0; if no case is tolerable, ``rho_2 = 0``.
+    """
+    best = 0.0
+    for case_id, system in cases.items():
+        if case_id not in tolerable:
+            raise ModelError(f"no tolerability verdict for case {case_id!r}")
+        if not tolerable[case_id]:
+            continue
+        decrease = availability_decrease(reference, system)
+        best = max(best, decrease)
+    return best
+
+
+@dataclass(frozen=True)
+class SystemRobustness:
+    """The paper's ``(rho_1, rho_2)`` robustness 2-tuple.
+
+    ``rho_1`` is a probability in [0, 1]; ``rho_2`` a percentage.
+    """
+
+    rho1: float
+    rho2: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rho1 <= 1.0 + 1e-12:
+            raise ModelError(f"rho_1 must be a probability, got {self.rho1}")
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.rho1, self.rho2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SystemRobustness(rho1={self.rho1:.4f}, rho2={self.rho2:.2f}%)"

@@ -1,0 +1,122 @@
+"""The paper's four evaluation scenarios (§IV).
+
+Each scenario pairs an initial-mapping policy with a runtime-scheduling
+policy:
+
+1. naive IM  +  naive RAS  (equal-share allocation, STATIC)
+2. robust IM +  naive RAS  (optimal allocation, STATIC)
+3. naive IM  +  robust RAS (equal-share allocation, {FAC, WF, AWF-B, AF})
+4. robust IM +  robust RAS (optimal allocation, {FAC, WF, AWF-B, AF})
+
+Scenario 4 is the CDSF proper; 1-3 are its ablations. The hypothesis the
+paper tests — and this module lets you re-test — is that scenario 4
+dominates the other three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from collections.abc import Mapping, Sequence
+
+from ..dls import ROBUST_SET
+from ..ra import EqualShareAllocator, ExhaustiveAllocator, RAHeuristic
+from ..system import HeterogeneousSystem
+from .cdsf import CDSF, CDSFResult
+from .study import StudyConfig
+
+__all__ = ["Scenario", "ScenarioSpec", "run_scenario", "run_all_scenarios"]
+
+
+class Scenario(Enum):
+    """The four IM x RAS combinations of the paper's §IV."""
+
+    NAIVE_IM_NAIVE_RAS = 1
+    ROBUST_IM_NAIVE_RAS = 2
+    NAIVE_IM_ROBUST_RAS = 3
+    ROBUST_IM_ROBUST_RAS = 4
+
+    @property
+    def robust_im(self) -> bool:
+        return self in (
+            Scenario.ROBUST_IM_NAIVE_RAS,
+            Scenario.ROBUST_IM_ROBUST_RAS,
+        )
+
+    @property
+    def robust_ras(self) -> bool:
+        return self in (
+            Scenario.NAIVE_IM_ROBUST_RAS,
+            Scenario.ROBUST_IM_ROBUST_RAS,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Resolved policies of a scenario."""
+
+    scenario: Scenario
+    heuristic: RAHeuristic
+    techniques: tuple[str, ...]
+
+
+def scenario_spec(
+    scenario: Scenario,
+    *,
+    robust_heuristic: RAHeuristic | None = None,
+    robust_techniques: Sequence[str] | None = None,
+) -> ScenarioSpec:
+    """Resolve a scenario to concrete policies.
+
+    ``robust_heuristic`` defaults to the exhaustive optimal search (what the
+    paper uses on the small example); ``robust_techniques`` to the paper's
+    robust DLS set {FAC, WF, AWF-B, AF}.
+    """
+    if scenario.robust_im:
+        heuristic = robust_heuristic or ExhaustiveAllocator()
+    else:
+        heuristic = EqualShareAllocator()
+    if scenario.robust_ras:
+        techniques = tuple(robust_techniques or ROBUST_SET)
+    else:
+        techniques = ("STATIC",)
+    return ScenarioSpec(
+        scenario=scenario, heuristic=heuristic, techniques=techniques
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    cdsf: CDSF,
+    cases: Mapping[str, HeterogeneousSystem],
+    *,
+    robust_heuristic: RAHeuristic | None = None,
+    robust_techniques: Sequence[str] | None = None,
+) -> CDSFResult:
+    """Run one scenario through the CDSF."""
+    spec = scenario_spec(
+        scenario,
+        robust_heuristic=robust_heuristic,
+        robust_techniques=robust_techniques,
+    )
+    return cdsf.run(spec.heuristic, cases, spec.techniques)
+
+
+def run_all_scenarios(
+    cdsf: CDSF,
+    cases: Mapping[str, HeterogeneousSystem],
+    *,
+    robust_heuristic: RAHeuristic | None = None,
+    robust_techniques: Sequence[str] | None = None,
+) -> dict[Scenario, CDSFResult]:
+    """Run all four scenarios; keyed by :class:`Scenario`."""
+    return {
+        scenario: run_scenario(
+            scenario,
+            cdsf,
+            cases,
+            robust_heuristic=robust_heuristic,
+            robust_techniques=robust_techniques,
+        )
+        for scenario in Scenario
+    }

@@ -1,0 +1,196 @@
+"""Heuristic/technique selection guidance (the paper's §V open question).
+
+"A study of the factors to be considered in guiding the choice of
+heuristics used in either stage is another potential extension of interest"
+— this module implements that study's operational output: measurable
+*instance features* and a rule-based advisor mapping them to a stage-I
+heuristic and a stage-II DLS technique, with an explicit rationale per
+rule so the recommendation is auditable.
+
+The rules encode the regularities the ablation benchmarks measure:
+
+* exact search (branch-and-bound) is worth it while the allocation space is
+  small; past ~10^5 candidates the polynomial heuristics recover ≥ 99 % of
+  the optimum at a vanishing fraction of the cost;
+* STATIC only competes when both availability variance and iteration-time
+  variance are negligible and dispatch overhead is material;
+* fixed weights (WF) need *a-priori* heterogeneity (capacity or expected
+  availability differences across the group) to beat FAC;
+* adaptive techniques win under availability variance; AF specifically under
+  *persistent* per-processor degradation; AWF when the application
+  time-steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps import Batch
+from ..errors import ModelError
+from ..ra import candidate_assignments
+from ..system import HeterogeneousSystem
+
+__all__ = ["InstanceFeatures", "Recommendation", "extract_features", "recommend"]
+
+
+@dataclass(frozen=True)
+class InstanceFeatures:
+    """Measurable properties of a (batch, system) instance."""
+
+    n_apps: int
+    n_types: int
+    total_processors: int
+    #: Upper bound on the feasible allocation count (product of per-app
+    #: candidate group counts, ignoring capacity coupling).
+    allocation_space_bound: float
+    #: Mean expected availability across processors (Eq. 1).
+    mean_availability: float
+    #: Coefficient of variation of the availability PMFs (mass-weighted,
+    #: averaged over types) — the stage-II perturbation magnitude.
+    availability_cv: float
+    #: Mean iteration-time coefficient of variation across applications.
+    iteration_cv: float
+    #: Dispatch overhead relative to a mean iteration's time (0 if unknown).
+    overhead_ratio: float
+    #: Whether applications time-step (re-execute their loop repeatedly).
+    timestepped: bool
+    #: Whether group-internal a-priori heterogeneity exists (capacity
+    #: differences across types an app may straddle — always False for the
+    #: paper's single-type groups).
+    heterogeneous_groups: bool
+
+
+def extract_features(
+    batch: Batch,
+    system: HeterogeneousSystem,
+    *,
+    overhead: float = 0.0,
+    timestepped: bool = False,
+) -> InstanceFeatures:
+    """Measure the advisor's input features from the model objects."""
+    space = 1.0
+    for name in batch.names:
+        space *= len(candidate_assignments(name, batch, system))
+
+    avail_cvs = []
+    for t in system.types:
+        pmf = t.availability
+        mean = pmf.mean()
+        avail_cvs.append(pmf.std() / mean if mean > 0 else 0.0)
+
+    iteration_cvs = [app.iteration_cv for app in batch]
+
+    # Overhead relative to the smallest mean iteration time (worst case).
+    iter_means = []
+    for app in batch:
+        for t in system.types:
+            if app.exec_time.supports(t.name):
+                iter_means.append(app.parallel_iteration_model(t.name).mean)
+    overhead_ratio = (
+        overhead / min(iter_means) if iter_means and overhead > 0 else 0.0
+    )
+
+    capacities = [t.capacity for t in system.types]
+    heterogeneous = len(set(capacities)) > 1
+
+    return InstanceFeatures(
+        n_apps=len(batch),
+        n_types=len(system),
+        total_processors=system.total_processors,
+        allocation_space_bound=space,
+        mean_availability=system.weighted_availability(),
+        availability_cv=float(np.mean(avail_cvs)),
+        iteration_cv=float(np.mean(iteration_cvs)),
+        overhead_ratio=overhead_ratio,
+        timestepped=timestepped,
+        heterogeneous_groups=heterogeneous,
+    )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output: named policies plus the rules that fired."""
+
+    stage1: str  # a repro.ra.HEURISTICS key
+    stage2: str  # a repro.dls.ALL_TECHNIQUES key
+    rationale: tuple[str, ...] = field(default_factory=tuple)
+
+
+#: Allocation-space threshold below which exact search is recommended.
+EXACT_SEARCH_LIMIT = 1e5
+
+#: Availability-cv threshold below which the system is "quiet".
+QUIET_AVAILABILITY = 0.05
+
+
+def recommend(features: InstanceFeatures) -> Recommendation:
+    """Rule-based stage-I/stage-II policy recommendation."""
+    if features.n_apps < 1:
+        raise ModelError("need at least one application")
+    rationale: list[str] = []
+
+    # ----------------------------------------------------------- stage I
+    if features.allocation_space_bound <= EXACT_SEARCH_LIMIT:
+        stage1 = "branch-and-bound"
+        rationale.append(
+            f"allocation space bound {features.allocation_space_bound:.0f} "
+            f"<= {EXACT_SEARCH_LIMIT:.0f}: exact search is affordable"
+        )
+    elif features.n_apps <= 12:
+        stage1 = "simulated-annealing"
+        rationale.append(
+            "moderate batch: local search refines the greedy seed at "
+            "polynomial cost"
+        )
+    else:
+        stage1 = "greedy-robust"
+        rationale.append(
+            f"large batch ({features.n_apps} applications): single-pass "
+            "greedy with Hall look-ahead scales linearly in candidates"
+        )
+
+    # ----------------------------------------------------------- stage II
+    quiet = features.availability_cv < QUIET_AVAILABILITY
+    if features.timestepped:
+        stage2 = "AWF"
+        rationale.append(
+            "time-stepping application: AWF adapts between steps at one "
+            "weight update per step"
+        )
+    elif quiet and features.iteration_cv < 0.05:
+        if features.overhead_ratio > 0.5:
+            stage2 = "STATIC"
+            rationale.append(
+                "negligible variance and expensive dispatch: a single "
+                "static split avoids all scheduling overhead"
+            )
+        else:
+            stage2 = "FSC"
+            rationale.append(
+                "negligible variance: fixed-size chunks at the "
+                "Kruskal-Weiss optimum suffice"
+            )
+    elif quiet and features.heterogeneous_groups:
+        stage2 = "WF"
+        rationale.append(
+            "known static heterogeneity, quiet availability: fixed weights "
+            "capture the imbalance a priori"
+        )
+    elif features.availability_cv >= 0.3:
+        stage2 = "AF"
+        rationale.append(
+            f"high availability variance (cv = {features.availability_cv:.2f}): "
+            "AF's per-worker (mu, sigma) estimates give degraded processors "
+            "proportionally less work"
+        )
+    else:
+        stage2 = "FAC"
+        rationale.append(
+            "moderate variance: factoring's geometric batches balance "
+            "adaptivity against dispatch overhead"
+        )
+    return Recommendation(
+        stage1=stage1, stage2=stage2, rationale=tuple(rationale)
+    )

@@ -1,0 +1,127 @@
+"""Analytic stage-I sensitivity analysis.
+
+Complements the simulation-based stage-II robustness with closed-form
+(PMF-arithmetic) questions about an allocation:
+
+* :func:`deadline_curve` — how ``phi_1`` varies with the deadline;
+* :func:`min_deadline_for` — the smallest deadline achieving a target
+  confidence;
+* :func:`degradation_curve` — how ``phi_1`` decays as every availability
+  PMF is scaled down (the *analytic* analogue of the stage-II tolerance);
+* :func:`analytic_tolerance` — the largest uniform availability decrease
+  keeping ``phi_1`` at or above a target (bisection on the degradation
+  factor).
+
+These answer the paper's §V question "a study of the factors to be
+considered in guiding the choice of heuristics used in either stage"
+without running the simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..apps import Batch, degraded_availability
+from ..errors import ModelError
+from ..ra import Allocation, StageIEvaluator
+from ..system import HeterogeneousSystem
+
+__all__ = [
+    "deadline_curve",
+    "min_deadline_for",
+    "degradation_curve",
+    "analytic_tolerance",
+]
+
+
+def deadline_curve(
+    evaluator: StageIEvaluator,
+    allocation: Allocation,
+    deadlines: Iterable[float],
+) -> list[tuple[float, float]]:
+    """``(Delta, phi_1(Delta))`` pairs for an allocation."""
+    return evaluator.phi1_curve(allocation, deadlines)
+
+
+def min_deadline_for(
+    evaluator: StageIEvaluator,
+    allocation: Allocation,
+    probability: float,
+) -> float:
+    """Smallest deadline with ``phi_1 >= probability``."""
+    return evaluator.min_deadline(allocation, probability)
+
+
+def _degraded_evaluator(
+    batch: Batch,
+    system: HeterogeneousSystem,
+    deadline: float,
+    factor: float,
+) -> StageIEvaluator:
+    degraded = system.with_availabilities(
+        {
+            t.name: degraded_availability(t.availability, factor)
+            for t in system.types
+        }
+    )
+    return StageIEvaluator(batch, degraded, deadline)
+
+
+def degradation_curve(
+    batch: Batch,
+    system: HeterogeneousSystem,
+    allocation: Allocation,
+    deadline: float,
+    factors: Iterable[float],
+) -> list[tuple[float, float]]:
+    """``(decrease %, phi_1)`` as all availabilities are scaled by ``f``.
+
+    ``factors`` are multiplicative scalings in ``(0, 1]``; the returned
+    first coordinate is the percent decrease ``100 * (1 - f)``.
+    """
+    out = []
+    for f in factors:
+        if not 0.0 < f <= 1.0:
+            raise ModelError(f"degradation factor must be in (0, 1], got {f}")
+        evaluator = _degraded_evaluator(batch, system, deadline, f)
+        out.append((100.0 * (1.0 - f), evaluator.robustness(allocation)))
+    return out
+
+
+def analytic_tolerance(
+    batch: Batch,
+    system: HeterogeneousSystem,
+    allocation: Allocation,
+    deadline: float,
+    *,
+    target: float = 0.5,
+    tol: float = 1e-3,
+) -> float:
+    """Largest percent availability decrease with ``phi_1 >= target``.
+
+    Bisects the uniform degradation factor; ``phi_1`` is monotone in it
+    (scaling every availability down stochastically increases every
+    completion time). Returns 0.0 if even the undegraded system misses the
+    target, and the search-cap value (95 %) if the target survives
+    everything.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ModelError(f"target must be in (0, 1], got {target}")
+
+    def phi1(f: float) -> float:
+        return _degraded_evaluator(batch, system, deadline, f).robustness(
+            allocation
+        )
+
+    if phi1(1.0) < target:
+        return 0.0
+    lo, hi = 0.05, 1.0  # factor bounds: hi keeps target, lo presumed not
+    if phi1(lo) >= target:
+        return 100.0 * (1.0 - lo)
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if phi1(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return 100.0 * (1.0 - hi)

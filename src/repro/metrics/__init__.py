@@ -1,0 +1,21 @@
+"""Performance and robustness metrics."""
+
+from .makespan import (
+    system_makespan,
+    deadline_met,
+    violation_ratio,
+    percent_degradation,
+    summary_statistic,
+)
+from .imbalance import cov_imbalance, max_mean_imbalance, idle_fraction
+
+__all__ = [
+    "system_makespan",
+    "deadline_met",
+    "violation_ratio",
+    "percent_degradation",
+    "summary_statistic",
+    "cov_imbalance",
+    "max_mean_imbalance",
+    "idle_fraction",
+]

@@ -1,0 +1,45 @@
+"""Load-imbalance metrics (the quantity DLS techniques minimize)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["cov_imbalance", "max_mean_imbalance", "idle_fraction"]
+
+
+def cov_imbalance(finish_times: Iterable[float]) -> float:
+    """Coefficient of variation of worker finish times (0 = balanced)."""
+    arr = np.asarray(list(finish_times), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one finish time")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def max_mean_imbalance(finish_times: Iterable[float]) -> float:
+    """``max / mean`` of worker finish times (1 = perfectly balanced)."""
+    arr = np.asarray(list(finish_times), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one finish time")
+    mean = arr.mean()
+    if mean == 0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+def idle_fraction(finish_times: Iterable[float]) -> float:
+    """Fraction of aggregate processor time spent idle at the loop barrier.
+
+    ``1 - sum(t_i) / (P * max(t_i))``: 0 when all workers finish together.
+    """
+    arr = np.asarray(list(finish_times), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one finish time")
+    peak = arr.max()
+    if peak == 0:
+        return 0.0
+    return float(1.0 - arr.sum() / (arr.size * peak))

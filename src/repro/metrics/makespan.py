@@ -1,0 +1,69 @@
+"""Makespan and deadline metrics over simulation results."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "system_makespan",
+    "deadline_met",
+    "violation_ratio",
+    "percent_degradation",
+    "summary_statistic",
+]
+
+
+def system_makespan(app_makespans: Iterable[float]) -> float:
+    """``Psi``: the maximum of the applications' completion times."""
+    values = list(app_makespans)
+    if not values:
+        raise ValueError("need at least one application makespan")
+    return max(values)
+
+
+def deadline_met(makespan: float, deadline: float) -> bool:
+    """Whether a makespan satisfies the system deadline."""
+    return makespan <= deadline
+
+
+def violation_ratio(makespan: float, deadline: float) -> float:
+    """Relative deadline violation: ``(Psi - Delta) / Delta`` (<= 0 if met)."""
+    if deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    return (makespan - deadline) / deadline
+
+
+def percent_degradation(value: float, reference: float) -> float:
+    """Percent increase of ``value`` over ``reference`` (0 if equal)."""
+    if reference <= 0:
+        raise ValueError(f"reference must be positive, got {reference}")
+    return 100.0 * (value - reference) / reference
+
+
+def summary_statistic(values: Sequence[float], statistic: str = "mean") -> float:
+    """Reduce replication makespans to one number.
+
+    ``statistic``: ``"mean"``, ``"median"``, ``"max"``, ``"min"``, or
+    ``"p90"`` (90th percentile). The experiment harness exposes this choice
+    because the paper reports single per-case execution times whose exact
+    aggregation is unspecified.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if statistic == "mean":
+        return float(arr.mean())
+    if statistic == "median":
+        return float(np.median(arr))
+    if statistic == "max":
+        return float(arr.max())
+    if statistic == "min":
+        return float(arr.min())
+    if statistic == "p90":
+        return float(np.percentile(arr, 90))
+    raise ValueError(
+        f"unknown statistic {statistic!r}; "
+        "expected mean/median/max/min/p90"
+    )

@@ -1,0 +1,41 @@
+"""The paper's §IV example: data constants, builders, tables, figures."""
+
+from . import data
+from .example import (
+    paper_system,
+    paper_cases,
+    paper_batch,
+    paper_cdsf,
+    PAPER_SIM_CONFIG,
+    PAPER_REPLICATIONS,
+    PAPER_SEED,
+)
+from .tables import (
+    table_i_rows,
+    compute_allocations,
+    table_iv_rows,
+    table_v_rows,
+    phi1_values,
+    table_vi_rows,
+)
+from .figures import FigureSeries, figure_series, FIGURE_SCENARIOS
+
+__all__ = [
+    "data",
+    "paper_system",
+    "paper_cases",
+    "paper_batch",
+    "paper_cdsf",
+    "PAPER_SIM_CONFIG",
+    "PAPER_REPLICATIONS",
+    "PAPER_SEED",
+    "table_i_rows",
+    "compute_allocations",
+    "table_iv_rows",
+    "table_v_rows",
+    "phi1_values",
+    "table_vi_rows",
+    "FigureSeries",
+    "figure_series",
+    "FIGURE_SCENARIOS",
+]

@@ -1,0 +1,122 @@
+"""The paper's §IV example data: Tables I, II, and III as constants.
+
+Everything the small-scale example needs, transcribed from the paper:
+
+* Table I — per-type availability PMFs for the reference case (case 1 =
+  ``A_hat``) and the three degraded runtime cases, with their expected and
+  weighted availabilities.
+* Table II — the batch of three applications (iteration counts and
+  serial/parallel percentages). The application-3 row is partially garbled
+  in the source scan; the numbers consistent with Table V and the reported
+  phi_1 values are 216 serial / 4096 parallel iterations (5% / 95%) — see
+  DESIGN.md for the reconstruction argument.
+* Table III — mean single-processor execution times; PMFs are
+  ``Normal(mu, mu/10)``.
+
+The module also records the paper's reported result values (Table IV-VI,
+phi_1, rho) used by the regression tests and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+#: System deadline Delta (time units).
+DEADLINE: float = 3_250.0
+
+#: Processor counts per type (12 processors total).
+PROCESSOR_COUNTS: dict[str, int] = {"type1": 4, "type2": 8}
+
+#: Table I — availability PMFs as (availability %, probability %) pairs.
+#: Case "case1" is the historical/expected availability A_hat.
+AVAILABILITY_CASES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "case1": {
+        "type1": [(75.0, 50.0), (100.0, 50.0)],
+        "type2": [(25.0, 25.0), (50.0, 25.0), (100.0, 50.0)],
+    },
+    "case2": {
+        "type1": [(50.0, 90.0), (75.0, 10.0)],
+        "type2": [(33.0, 45.0), (66.0, 45.0), (100.0, 10.0)],
+    },
+    "case3": {
+        "type1": [(52.0, 50.0), (69.0, 50.0)],
+        "type2": [(17.0, 25.0), (35.0, 25.0), (69.0, 50.0)],
+    },
+    "case4": {
+        "type1": [(33.0, 75.0), (66.0, 25.0)],
+        "type2": [(20.0, 50.0), (80.0, 25.0), (100.0, 25.0)],
+    },
+}
+
+#: Case order used throughout (decreasing weighted availability).
+CASE_ORDER: tuple[str, ...] = ("case1", "case2", "case3", "case4")
+
+#: Table I, column 5 — expected availability per (case, type), percent.
+EXPECTED_AVAILABILITY: dict[str, dict[str, float]] = {
+    "case1": {"type1": 87.50, "type2": 68.75},
+    "case2": {"type1": 52.50, "type2": 54.55},
+    "case3": {"type1": 60.58, "type2": 47.60},
+    "case4": {"type1": 41.25, "type2": 55.00},
+}
+
+#: Table I, column 6 — weighted system availability per case, percent.
+WEIGHTED_AVAILABILITY: dict[str, float] = {
+    "case1": 75.00,
+    "case2": 53.87,
+    "case3": 51.92,
+    "case4": 50.42,
+}
+
+#: Table I, bracketed — percent decrease vs case 1 (1 - E[A_i]/E[A_hat]).
+AVAILABILITY_DECREASE: dict[str, float] = {
+    "case2": 28.17,
+    "case3": 30.77,
+    "case4": 32.77,
+}
+
+#: Table II — application iteration counts. The app3 parallel count is the
+#: DESIGN.md reconstruction (216/4312 = 5.01% serial).
+APPLICATIONS: dict[str, dict[str, int | float]] = {
+    "app1": {"serial": 439, "parallel": 1024, "serial_pct": 30.0, "parallel_pct": 70.0},
+    "app2": {"serial": 512, "parallel": 2048, "serial_pct": 20.0, "parallel_pct": 80.0},
+    "app3": {"serial": 216, "parallel": 4096, "serial_pct": 5.0, "parallel_pct": 95.0},
+}
+
+#: Table III — mean single-processor execution times (time units); the PMFs
+#: are Normal(mu, mu / 10).
+MEAN_EXEC_TIMES: dict[str, dict[str, float]] = {
+    "app1": {"type1": 1_800.0, "type2": 4_000.0},
+    "app2": {"type1": 2_800.0, "type2": 6_000.0},
+    "app3": {"type1": 12_000.0, "type2": 8_000.0},
+}
+
+#: Paper sigma/mu ratio for the execution-time PMFs.
+EXEC_TIME_CV: float = 0.1
+
+# --------------------------------------------------------------------------
+# Reported results (ground truth for the reproduction benchmarks).
+# --------------------------------------------------------------------------
+
+#: Table IV — resource allocations chosen by the naive and robust IM.
+TABLE_IV: dict[str, dict[str, tuple[str, int]]] = {
+    "naive": {"app1": ("type2", 4), "app2": ("type1", 4), "app3": ("type2", 4)},
+    "robust": {"app1": ("type1", 2), "app2": ("type1", 2), "app3": ("type2", 8)},
+}
+
+#: phi_1 values reported for the two allocations (percent).
+PHI1: dict[str, float] = {"naive": 26.0, "robust": 74.5}
+
+#: Table V — expected parallel completion times (time units).
+TABLE_V: dict[str, dict[str, float]] = {
+    "naive": {"app1": 3_800.02, "app2": 1_306.39, "app3": 4_599.76},
+    "robust": {"app1": 1_365.46, "app2": 1_959.59, "app3": 2_699.86},
+}
+
+#: Table VI — best DLS per application per case in scenario 4 (None =
+#: deadline unreachable with every technique).
+TABLE_VI: dict[str, dict[str, str | None]] = {
+    "app1": {"case1": "WF", "case2": "AF", "case3": "AF", "case4": "AF"},
+    "app2": {"case1": "WF", "case2": "WF", "case3": "AF", "case4": None},
+    "app3": {"case1": "AF", "case2": "AF", "case3": "AF", "case4": "AF"},
+}
+
+#: The reported system robustness 2-tuple for scenario 4.
+RHO: tuple[float, float] = (74.5, 30.77)  # (rho_1 %, rho_2 %)

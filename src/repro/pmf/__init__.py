@@ -1,0 +1,79 @@
+"""Discrete probability-mass-function algebra (stage-I substrate).
+
+Public surface::
+
+    from repro.pmf import PMF, discretized_normal, convolve, ...
+"""
+
+from .pmf import PMF, PROB_TOL
+from .constructors import (
+    deterministic,
+    from_mapping,
+    from_pairs,
+    from_samples,
+    uniform_support,
+    discretized_normal,
+    sampled_normal,
+    percent_availability,
+)
+from .algebra import (
+    combine,
+    convolve,
+    convolve_many,
+    scale,
+    shift,
+    max_independent,
+    min_independent,
+    mixture,
+    joint_prob_leq,
+)
+from .transforms import (
+    amdahl_time,
+    amdahl_transform,
+    speedup,
+    dilate_by_availability,
+    effective_completion_pmf,
+)
+from .summary import (
+    PMFSummary,
+    summarize,
+    distance_tv,
+    distance_ks,
+    entropy,
+    dominates_first_order,
+    dominance_gap,
+)
+
+__all__ = [
+    "PMF",
+    "PROB_TOL",
+    "deterministic",
+    "from_mapping",
+    "from_pairs",
+    "from_samples",
+    "uniform_support",
+    "discretized_normal",
+    "sampled_normal",
+    "percent_availability",
+    "combine",
+    "convolve",
+    "convolve_many",
+    "scale",
+    "shift",
+    "max_independent",
+    "min_independent",
+    "mixture",
+    "joint_prob_leq",
+    "amdahl_time",
+    "amdahl_transform",
+    "speedup",
+    "dilate_by_availability",
+    "effective_completion_pmf",
+    "PMFSummary",
+    "summarize",
+    "distance_tv",
+    "distance_ks",
+    "entropy",
+    "dominates_first_order",
+    "dominance_gap",
+]

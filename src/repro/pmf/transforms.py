@@ -1,0 +1,103 @@
+"""Paper-specific PMF transforms (Eq. 2 and the availability composition).
+
+Two transforms define how stage I predicts an application's completion time
+from the single-processor execution-time PMF:
+
+1. :func:`amdahl_transform` — the paper's Eq. (2): each pulse ``T`` of the
+   single-processor PMF becomes ``s*T + p*T/n`` on ``n`` processors, with
+   serial fraction ``s`` and parallel fraction ``p`` (probabilities
+   unchanged).
+
+2. :func:`dilate_by_availability` — the paper's "convolution" of the
+   parallel-time PMF with the availability PMF of the assigned processor
+   type: a machine that is only ``alpha``-available stretches dedicated time
+   ``T`` into wall-clock time ``T / alpha``, so each pulse pair ``(T, alpha)``
+   contributes an effective-time pulse ``T / alpha`` with probability
+   ``p_T * p_alpha``.
+
+Their composition :func:`effective_completion_pmf` is the per-application
+completion-time model whose ``Pr(X <= Delta)`` values reproduce the paper's
+26% / 74.5% stage-I robustness numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PMFError
+from .algebra import combine
+from .pmf import PMF
+
+__all__ = [
+    "amdahl_transform",
+    "amdahl_time",
+    "dilate_by_availability",
+    "effective_completion_pmf",
+    "speedup",
+]
+
+
+def amdahl_time(
+    t_serial_total: float | np.ndarray,
+    serial_fraction: float,
+    n_processors: int,
+) -> float | np.ndarray:
+    """Parallel execution time per Eq. (2): ``s*T + (1-s)*T/n``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise PMFError(
+            f"serial fraction must be in [0, 1], got {serial_fraction}"
+        )
+    if n_processors < 1:
+        raise PMFError(f"need at least one processor, got {n_processors}")
+    s = serial_fraction
+    return s * t_serial_total + (1.0 - s) * t_serial_total / n_processors
+
+
+def amdahl_transform(pmf: PMF, serial_fraction: float, n_processors: int) -> PMF:
+    """Apply Eq. (2) to every pulse of a single-processor time PMF."""
+    return pmf.map_values(
+        lambda t: amdahl_time(t, serial_fraction, n_processors)
+    )
+
+
+def speedup(serial_fraction: float, n_processors: int) -> float:
+    """Amdahl speedup implied by Eq. (2): ``T / T_n``."""
+    t_n = amdahl_time(1.0, serial_fraction, n_processors)
+    return 1.0 / t_n
+
+
+def dilate_by_availability(
+    time_pmf: PMF, availability_pmf: PMF, *, max_points: int | None = 4096
+) -> PMF:
+    """Effective wall-clock time PMF ``T / alpha``.
+
+    ``availability_pmf`` must have support in ``(0, 1]`` — a processor with
+    zero availability would never finish.
+    """
+    lo, hi = availability_pmf.support()
+    if lo <= 0.0 or hi > 1.0 + 1e-12:
+        raise PMFError(
+            f"availability support must lie in (0, 1], got [{lo}, {hi}]"
+        )
+    return combine(
+        time_pmf, availability_pmf, lambda t, a: t / a, max_points=max_points
+    )
+
+
+def effective_completion_pmf(
+    single_proc_pmf: PMF,
+    serial_fraction: float,
+    n_processors: int,
+    availability_pmf: PMF,
+    *,
+    max_points: int | None = 4096,
+) -> PMF:
+    """Stage-I completion-time PMF of one application on its allocation.
+
+    Composition of Eq. (2) with the availability dilation, exactly as the
+    paper describes: "Once the PMF modeling the parallel execution time ...
+    is calculated, it is convoluted with the PMF modeling the historical
+    system availability of processors of that type."
+    """
+    par = amdahl_transform(single_proc_pmf, serial_fraction, n_processors)
+    return dilate_by_availability(par, availability_pmf, max_points=max_points)

@@ -1,0 +1,67 @@
+"""Stage I — robust resource allocation (initial mapping).
+
+Allocation data structures, the phi_1 robustness evaluator, and the RA
+heuristic family: naive equal-share, exhaustive optimal, greedy, Min-Min /
+Max-Min / Sufferage, simulated annealing, and genetic.
+"""
+
+from .allocation import (
+    Allocation,
+    candidate_assignments,
+    enumerate_allocations,
+    powers_of_two_upto,
+    others_can_complete,
+)
+from .robustness import StageIEvaluator, AllocationReport, completion_pmf
+from .base import RAHeuristic, RAResult
+from .naive import EqualShareAllocator
+from .exhaustive import ExhaustiveAllocator
+from .branchbound import BranchAndBoundAllocator
+from .greedy import GreedyRobustAllocator, GreedyPackingAllocator
+from .minmin import MinMinAllocator, MaxMinAllocator, SufferageAllocator
+from .annealing import AnnealingAllocator
+from .genetic import GeneticAllocator
+from .pareto import ParetoPoint, pareto_front
+
+#: All heuristics by registry name.
+HEURISTICS: dict[str, type[RAHeuristic]] = {
+    cls.name: cls
+    for cls in (
+        EqualShareAllocator,
+        ExhaustiveAllocator,
+        BranchAndBoundAllocator,
+        GreedyRobustAllocator,
+        GreedyPackingAllocator,
+        MinMinAllocator,
+        MaxMinAllocator,
+        SufferageAllocator,
+        AnnealingAllocator,
+        GeneticAllocator,
+    )
+}
+
+__all__ = [
+    "Allocation",
+    "candidate_assignments",
+    "enumerate_allocations",
+    "powers_of_two_upto",
+    "others_can_complete",
+    "StageIEvaluator",
+    "AllocationReport",
+    "completion_pmf",
+    "RAHeuristic",
+    "RAResult",
+    "EqualShareAllocator",
+    "ExhaustiveAllocator",
+    "BranchAndBoundAllocator",
+    "GreedyRobustAllocator",
+    "GreedyPackingAllocator",
+    "MinMinAllocator",
+    "MaxMinAllocator",
+    "SufferageAllocator",
+    "AnnealingAllocator",
+    "GeneticAllocator",
+    "ParetoPoint",
+    "pareto_front",
+    "HEURISTICS",
+]

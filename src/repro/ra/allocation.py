@@ -1,0 +1,259 @@
+"""Stage-I allocations: which processors each application gets.
+
+An :class:`Allocation` maps every application of a batch to a
+:class:`~repro.system.ProcessorGroup` (``n`` processors of one type). The
+paper's constraints (§IV): every application must be assigned, to a
+*power-of-2* number of processors of a *single* type, and the assignments of
+one type must fit within that type's processor count.
+
+:func:`candidate_assignments` and :func:`enumerate_allocations` define the
+search space shared by all RA heuristics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..apps import Batch
+from ..errors import AllocationError, InfeasibleAllocationError
+from ..system import HeterogeneousSystem, ProcessorGroup
+
+__all__ = [
+    "Allocation",
+    "candidate_assignments",
+    "enumerate_allocations",
+    "powers_of_two_upto",
+    "others_can_complete",
+]
+
+
+def others_can_complete(
+    remaining: Mapping[str, int], needs: Iterable[set[str]]
+) -> bool:
+    """Hall's condition: each pending application can still get a processor.
+
+    Each pending application needs at least one processor of one of its
+    supported types. Such an assignment exists iff for every subset ``S`` of
+    types, the number of applications whose supported types all lie within
+    ``S`` does not exceed the remaining capacity of ``S``. Type counts are
+    small, so the ``2^T`` subset scan is cheap. Incremental heuristics use
+    this as a look-ahead so early assignments cannot starve later
+    applications.
+    """
+    needs = list(needs)
+    if not needs:
+        return True
+    types = sorted(remaining)
+    t = len(types)
+    for mask in range(1, 1 << t):
+        subset = {types[k] for k in range(t) if mask >> k & 1}
+        capacity = sum(remaining[name] for name in subset)
+        demand = sum(1 for need in needs if need <= subset)
+        if demand > capacity:
+            return False
+    return True
+
+
+def powers_of_two_upto(n: int) -> list[int]:
+    """All powers of two ``<= n`` (ascending). Empty for ``n < 1``."""
+    out = []
+    k = 1
+    while k <= n:
+        out.append(k)
+        k <<= 1
+    return out
+
+
+class Allocation:
+    """Immutable mapping ``application name -> ProcessorGroup``.
+
+    Validates against a system and batch: all applications assigned, known
+    type names, per-type capacity respected, and (optionally) power-of-2
+    group sizes.
+    """
+
+    def __init__(
+        self,
+        groups: Mapping[str, ProcessorGroup],
+        *,
+        system: HeterogeneousSystem | None = None,
+        batch: Batch | None = None,
+        require_power_of_two: bool = True,
+    ) -> None:
+        self._groups = dict(groups)
+        if not self._groups:
+            raise AllocationError("an allocation must assign at least one application")
+        if require_power_of_two:
+            for app_name, group in self._groups.items():
+                if group.size & (group.size - 1):
+                    raise AllocationError(
+                        f"application {app_name!r} assigned {group.size} "
+                        "processors; the model requires a power-of-2 count"
+                    )
+        if batch is not None:
+            missing = set(batch.names) - set(self._groups)
+            if missing:
+                raise AllocationError(
+                    f"applications not assigned: {sorted(missing)} "
+                    "(all applications must be assigned)"
+                )
+            extra = set(self._groups) - set(batch.names)
+            if extra:
+                raise AllocationError(
+                    f"allocation references unknown applications: {sorted(extra)}"
+                )
+        if system is not None:
+            usage: dict[str, int] = {}
+            for group in self._groups.values():
+                usage[group.ptype.name] = usage.get(group.ptype.name, 0) + group.size
+            for type_name, used in usage.items():
+                cap = system.type(type_name).count
+                if used > cap:
+                    raise AllocationError(
+                        f"type {type_name!r} oversubscribed: {used} > {cap}"
+                    )
+
+    # ------------------------------------------------------------------ data
+
+    def group(self, app_name: str) -> ProcessorGroup:
+        try:
+            return self._groups[app_name]
+        except KeyError:
+            raise AllocationError(
+                f"no group allocated to application {app_name!r}"
+            ) from None
+
+    def __contains__(self, app_name: str) -> bool:
+        return app_name in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def items(self) -> Iterator[tuple[str, ProcessorGroup]]:
+        return iter(self._groups.items())
+
+    @property
+    def app_names(self) -> tuple[str, ...]:
+        return tuple(self._groups)
+
+    def usage(self) -> dict[str, int]:
+        """Processors used per type name."""
+        out: dict[str, int] = {}
+        for group in self._groups.values():
+            out[group.ptype.name] = out.get(group.ptype.name, 0) + group.size
+        return out
+
+    def total_processors(self) -> int:
+        """``sum_i max_i`` — all processors allocated across applications."""
+        return sum(g.size for g in self._groups.values())
+
+    def as_table(self) -> list[tuple[str, str, int]]:
+        """Rows ``(application, type name, processor count)`` — Table IV form."""
+        return [
+            (app, group.ptype.name, group.size) for app, group in self._groups.items()
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return {
+            k: (g.ptype.name, g.size) for k, g in self._groups.items()
+        } == {k: (g.ptype.name, g.size) for k, g in other._groups.items()}
+
+    def __hash__(self) -> int:
+        return hash(
+            frozenset(
+                (k, g.ptype.name, g.size) for k, g in self._groups.items()
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{app}->{g.size}x{g.ptype.name}" for app, g in self._groups.items()
+        )
+        return f"Allocation({inner})"
+
+
+def candidate_assignments(
+    app_name: str,
+    batch: Batch,
+    system: HeterogeneousSystem,
+    *,
+    power_of_two: bool = True,
+) -> list[ProcessorGroup]:
+    """All single-type groups an application could receive (ignoring others).
+
+    Only processor types for which the application has an execution-time PMF
+    are considered.
+    """
+    app = batch.app(app_name)
+    groups: list[ProcessorGroup] = []
+    for ptype in system.types:
+        if not app.exec_time.supports(ptype.name):
+            continue
+        sizes = (
+            powers_of_two_upto(ptype.count)
+            if power_of_two
+            else list(range(1, ptype.count + 1))
+        )
+        groups.extend(ProcessorGroup(ptype, n) for n in sizes)
+    if not groups:
+        raise InfeasibleAllocationError(
+            f"application {app_name!r} cannot run on any processor type "
+            "of this system"
+        )
+    return groups
+
+
+def enumerate_allocations(
+    batch: Batch,
+    system: HeterogeneousSystem,
+    *,
+    power_of_two: bool = True,
+    sizes_filter: Iterable[int] | None = None,
+) -> Iterator[Allocation]:
+    """Yield every feasible complete allocation (backtracking search).
+
+    ``sizes_filter`` restricts group sizes (e.g. ``{4}`` for the naive
+    equal-share allocator). The number of allocations grows exponentially in
+    the batch size; this enumerator is intended for small instances and as
+    the ground truth that scalable heuristics are compared against.
+    """
+    names = batch.names
+    sizes_allowed = set(sizes_filter) if sizes_filter is not None else None
+    remaining0 = {t.name: t.count for t in system.types}
+
+    candidates_per_app = []
+    for name in names:
+        cands = candidate_assignments(name, batch, system, power_of_two=power_of_two)
+        if sizes_allowed is not None:
+            cands = [g for g in cands if g.size in sizes_allowed]
+        if not cands:
+            raise InfeasibleAllocationError(
+                f"no candidate groups for application {name!r} under the "
+                f"size filter {sorted(sizes_allowed) if sizes_allowed else None}"
+            )
+        candidates_per_app.append(cands)
+
+    assignment: dict[str, ProcessorGroup] = {}
+
+    def backtrack(i: int, remaining: dict[str, int]) -> Iterator[Allocation]:
+        if i == len(names):
+            yield Allocation(
+                dict(assignment),
+                system=system,
+                batch=batch,
+                require_power_of_two=power_of_two,
+            )
+            return
+        name = names[i]
+        for group in candidates_per_app[i]:
+            if group.size > remaining[group.ptype.name]:
+                continue
+            assignment[name] = group
+            remaining[group.ptype.name] -= group.size
+            yield from backtrack(i + 1, remaining)
+            remaining[group.ptype.name] += group.size
+            del assignment[name]
+
+    yield from backtrack(0, dict(remaining0))

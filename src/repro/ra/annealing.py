@@ -1,0 +1,199 @@
+"""Simulated-annealing resource allocation.
+
+A local-search heuristic over the feasible power-of-2 allocation space, for
+instances too large for exhaustive enumeration (paper §V future work on
+"robust and scalable resource allocation heuristics").
+
+State: a complete feasible allocation. Moves: (a) change one application's
+group size up/down one power of two, (b) move one application to a different
+processor type, (c) swap the assignments of two applications (when the swap
+stays feasible). The objective is stage-I robustness phi_1; infeasible
+neighbors are discarded rather than penalized, so every visited state is a
+valid allocation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import InfeasibleAllocationError
+from ..rng import ensure_rng
+from ..system import ProcessorGroup
+from .allocation import Allocation, candidate_assignments
+from .base import RAHeuristic, RAResult
+from .greedy import GreedyRobustAllocator
+from .robustness import StageIEvaluator
+
+__all__ = ["AnnealingAllocator"]
+
+
+class AnnealingAllocator(RAHeuristic):
+    """Simulated annealing over feasible allocations.
+
+    Parameters
+    ----------
+    iterations:
+        Total annealing steps.
+    initial_temperature, cooling:
+        Geometric cooling schedule ``T_k = T_0 * cooling^k``; the objective
+        is a probability in [0, 1], so the default temperature is small.
+    rng:
+        Seed or generator for reproducibility.
+    restarts:
+        Independent annealing runs; the best final state wins.
+    """
+
+    name = "simulated-annealing"
+
+    def __init__(
+        self,
+        *,
+        iterations: int = 2_000,
+        initial_temperature: float = 0.05,
+        cooling: float = 0.995,
+        restarts: int = 2,
+        power_of_two: bool = True,
+        rng=None,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        if initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        self._iterations = iterations
+        self._t0 = initial_temperature
+        self._cooling = cooling
+        self._restarts = restarts
+        self._power_of_two = power_of_two
+        self._rng = rng
+
+    # ------------------------------------------------------------------ core
+
+    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+        gen = ensure_rng(self._rng)
+        batch, system = evaluator.batch, evaluator.system
+        names = list(batch.names)
+        candidates = {
+            name: candidate_assignments(
+                name, batch, system, power_of_two=self._power_of_two
+            )
+            for name in names
+        }
+        counts = {t.name: t.count for t in system.types}
+        evaluations = 0
+
+        # Start from the greedy solution: annealing then only has to improve.
+        start = GreedyRobustAllocator(power_of_two=self._power_of_two).allocate(
+            evaluator
+        )
+        evaluations += start.evaluations
+        best_state = {name: start.allocation.group(name) for name in names}
+        best_rob = start.robustness
+
+        for _ in range(self._restarts):
+            state = dict(best_state)
+            state_rob = self._rob(evaluator, state)
+            evaluations += 1
+            temperature = self._t0
+            for _ in range(self._iterations):
+                neighbor = self._neighbor(state, names, candidates, counts, gen)
+                if neighbor is None:
+                    temperature *= self._cooling
+                    continue
+                rob = self._rob(evaluator, neighbor)
+                evaluations += 1
+                delta = rob - state_rob
+                if delta >= 0 or gen.random() < math.exp(delta / temperature):
+                    state, state_rob = neighbor, rob
+                    if state_rob > best_rob:
+                        best_state, best_rob = dict(state), state_rob
+                temperature *= self._cooling
+
+        allocation = Allocation(
+            best_state,
+            system=system,
+            batch=batch,
+            require_power_of_two=self._power_of_two,
+        )
+        return RAResult(
+            allocation=allocation,
+            robustness=best_rob,
+            heuristic=self.name,
+            evaluations=evaluations,
+        )
+
+    # -------------------------------------------------------------- internals
+
+    @staticmethod
+    def _rob(evaluator: StageIEvaluator, state: dict[str, ProcessorGroup]) -> float:
+        prob = 1.0
+        for name, group in state.items():
+            prob *= evaluator.app_deadline_prob(name, group)
+            if prob == 0.0:
+                break
+        return prob
+
+    @staticmethod
+    def _feasible(state: dict[str, ProcessorGroup], counts: dict[str, int]) -> bool:
+        usage: dict[str, int] = {}
+        for group in state.values():
+            usage[group.ptype.name] = usage.get(group.ptype.name, 0) + group.size
+        return all(used <= counts[t] for t, used in usage.items())
+
+    def _neighbor(
+        self,
+        state: dict[str, ProcessorGroup],
+        names: list[str],
+        candidates: dict[str, list[ProcessorGroup]],
+        counts: dict[str, int],
+        gen: np.random.Generator,
+    ) -> dict[str, ProcessorGroup] | None:
+        """One random feasible move, or None if the draw was infeasible."""
+        move = gen.integers(3)
+        new = dict(state)
+        if move == 0:  # resize one application
+            name = names[int(gen.integers(len(names)))]
+            current = state[name]
+            same_type = [
+                g
+                for g in candidates[name]
+                if g.ptype.name == current.ptype.name and g.size != current.size
+            ]
+            if not same_type:
+                return None
+            new[name] = same_type[int(gen.integers(len(same_type)))]
+        elif move == 1:  # retype one application
+            name = names[int(gen.integers(len(names)))]
+            current = state[name]
+            other_type = [
+                g for g in candidates[name] if g.ptype.name != current.ptype.name
+            ]
+            if not other_type:
+                return None
+            new[name] = other_type[int(gen.integers(len(other_type)))]
+        else:  # swap two applications' groups
+            if len(names) < 2:
+                return None
+            i, j = gen.choice(len(names), size=2, replace=False)
+            a, b = names[int(i)], names[int(j)]
+            ga, gb = state[a], state[b]
+            # The swapped group must be a valid candidate for its new owner.
+            if not any(
+                g.ptype.name == gb.ptype.name and g.size == gb.size
+                for g in candidates[a]
+            ):
+                return None
+            if not any(
+                g.ptype.name == ga.ptype.name and g.size == ga.size
+                for g in candidates[b]
+            ):
+                return None
+            new[a], new[b] = gb, ga
+        if not self._feasible(new, counts):
+            return None
+        return new

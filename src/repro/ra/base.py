@@ -1,0 +1,48 @@
+"""Abstract interface shared by all stage-I RA heuristics.
+
+A heuristic consumes a :class:`~repro.ra.robustness.StageIEvaluator`
+(which fixes the batch, system, and deadline) and returns the allocation it
+considers best, together with its robustness (phi_1). Randomized heuristics
+accept an RNG/seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from .allocation import Allocation
+from .robustness import StageIEvaluator
+
+__all__ = ["RAHeuristic", "RAResult"]
+
+
+@dataclass(frozen=True)
+class RAResult:
+    """Outcome of a stage-I heuristic run."""
+
+    allocation: Allocation
+    robustness: float
+    heuristic: str
+    evaluations: int  # number of candidate allocations scored
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.robustness <= 1.0 + 1e-12:
+            raise AllocationError(
+                f"robustness must be a probability, got {self.robustness}"
+            )
+
+
+class RAHeuristic(ABC):
+    """Base class of stage-I resource-allocation heuristics."""
+
+    #: Registry-friendly identifier; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+        """Produce an allocation for the evaluator's (batch, system, Delta)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

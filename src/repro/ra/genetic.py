@@ -1,0 +1,195 @@
+"""Genetic-algorithm resource allocation.
+
+Population-based search over the power-of-2 allocation space — the style of
+scalable stochastic RA heuristic used by Shestak et al. [4], which the paper
+cites as the natural stage-I engine for larger problems.
+
+Chromosome: one gene per application, each gene an index into that
+application's candidate-group list. Infeasible chromosomes (oversubscribed
+types) are *repaired* by shrinking the largest groups of the oversubscribed
+type until feasible, so crossover and mutation always produce valid
+allocations. Fitness is stage-I robustness phi_1; selection is tournament;
+elitism preserves the best individual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InfeasibleAllocationError
+from ..rng import ensure_rng
+from ..system import ProcessorGroup
+from .allocation import Allocation, candidate_assignments
+from .base import RAHeuristic, RAResult
+from .robustness import StageIEvaluator
+
+__all__ = ["GeneticAllocator"]
+
+
+class GeneticAllocator(RAHeuristic):
+    """GA over allocations.
+
+    Parameters
+    ----------
+    population, generations:
+        Population size and number of generations.
+    crossover_rate, mutation_rate:
+        Uniform-crossover probability per pair and per-gene mutation
+        probability.
+    tournament:
+        Tournament size for parent selection.
+    rng:
+        Seed or generator for reproducibility.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        *,
+        population: int = 40,
+        generations: int = 60,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.1,
+        tournament: int = 3,
+        power_of_two: bool = True,
+        rng=None,
+    ) -> None:
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0 <= crossover_rate <= 1 or not 0 <= mutation_rate <= 1:
+            raise ValueError("rates must be probabilities")
+        if tournament < 1:
+            raise ValueError("tournament must be >= 1")
+        self._population = population
+        self._generations = generations
+        self._crossover_rate = crossover_rate
+        self._mutation_rate = mutation_rate
+        self._tournament = tournament
+        self._power_of_two = power_of_two
+        self._rng = rng
+
+    # ------------------------------------------------------------------ main
+
+    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+        gen = ensure_rng(self._rng)
+        batch, system = evaluator.batch, evaluator.system
+        names = list(batch.names)
+        candidates = {
+            name: candidate_assignments(
+                name, batch, system, power_of_two=self._power_of_two
+            )
+            for name in names
+        }
+        counts = {t.name: t.count for t in system.types}
+        evaluations = 0
+
+        def decode(chrom: np.ndarray) -> dict[str, ProcessorGroup]:
+            return {
+                name: candidates[name][int(g)] for name, g in zip(names, chrom)
+            }
+
+        def repair(chrom: np.ndarray) -> np.ndarray:
+            """Shrink largest groups of oversubscribed types until feasible."""
+            chrom = chrom.copy()
+            for _ in range(64):  # bounded; each pass strictly reduces usage
+                state = decode(chrom)
+                usage: dict[str, int] = {}
+                for group in state.values():
+                    usage[group.ptype.name] = (
+                        usage.get(group.ptype.name, 0) + group.size
+                    )
+                over = [t for t, used in usage.items() if used > counts[t]]
+                if not over:
+                    return chrom
+                tname = over[0]
+                # Largest group of the oversubscribed type.
+                victim = max(
+                    (n for n in names if state[n].ptype.name == tname),
+                    key=lambda n: state[n].size,
+                )
+                current = state[victim]
+                smaller = [
+                    k
+                    for k, g in enumerate(candidates[victim])
+                    if g.ptype.name == tname and g.size < current.size
+                ]
+                if smaller:
+                    chrom[names.index(victim)] = max(
+                        smaller, key=lambda k: candidates[victim][k].size
+                    )
+                else:
+                    # Cannot shrink: move the victim to a random other type.
+                    other = [
+                        k
+                        for k, g in enumerate(candidates[victim])
+                        if g.ptype.name != tname
+                    ]
+                    if not other:
+                        raise InfeasibleAllocationError(
+                            f"cannot repair allocation for {victim!r}"
+                        )
+                    chrom[names.index(victim)] = other[int(gen.integers(len(other)))]
+            raise InfeasibleAllocationError("GA repair failed to converge")
+
+        def fitness(chrom: np.ndarray) -> float:
+            state = decode(chrom)
+            prob = 1.0
+            for name, group in state.items():
+                prob *= evaluator.app_deadline_prob(name, group)
+                if prob == 0.0:
+                    break
+            return prob
+
+        # Initial population: random chromosomes, repaired.
+        pop = [
+            repair(
+                np.array(
+                    [gen.integers(len(candidates[n])) for n in names], dtype=int
+                )
+            )
+            for _ in range(self._population)
+        ]
+        fit = np.array([fitness(c) for c in pop])
+        evaluations += len(pop)
+
+        for _ in range(self._generations):
+            elite_idx = int(np.argmax(fit))
+            new_pop = [pop[elite_idx].copy()]
+            while len(new_pop) < self._population:
+                pa = self._tournament_pick(pop, fit, gen)
+                pb = self._tournament_pick(pop, fit, gen)
+                child = pa.copy()
+                if gen.random() < self._crossover_rate:
+                    mask = gen.random(len(names)) < 0.5
+                    child[mask] = pb[mask]
+                for k, name in enumerate(names):
+                    if gen.random() < self._mutation_rate:
+                        child[k] = gen.integers(len(candidates[name]))
+                new_pop.append(repair(child))
+            pop = new_pop
+            fit = np.array([fitness(c) for c in pop])
+            evaluations += len(pop)
+
+        best_idx = int(np.argmax(fit))
+        allocation = Allocation(
+            decode(pop[best_idx]),
+            system=system,
+            batch=batch,
+            require_power_of_two=self._power_of_two,
+        )
+        return RAResult(
+            allocation=allocation,
+            robustness=float(fit[best_idx]),
+            heuristic=self.name,
+            evaluations=evaluations,
+        )
+
+    def _tournament_pick(
+        self, pop: list[np.ndarray], fit: np.ndarray, gen: np.random.Generator
+    ) -> np.ndarray:
+        contenders = gen.integers(len(pop), size=self._tournament)
+        winner = contenders[int(np.argmax(fit[contenders]))]
+        return pop[int(winner)]

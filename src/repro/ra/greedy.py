@@ -1,0 +1,128 @@
+"""Greedy scalable RA heuristics (the paper's §V future-work direction).
+
+Two single-pass greedy policies over the power-of-2 assignment space:
+
+* :class:`GreedyRobustAllocator` — applications are ordered hardest-first
+  (lowest best-case deadline probability); each in turn takes the feasible
+  group maximizing its own deadline probability, with ties broken toward the
+  fewest processors so later applications keep options. This is the
+  stochastic analogue of a "minimum completion time" list scheduler.
+* :class:`GreedyPackingAllocator` — minimizes expected completion time
+  instead of deadline probability; useful as a makespan-oriented baseline
+  (and noticeably less robust, which the ablation benchmark shows).
+
+Complexity is ``O(N * C)`` evaluations for ``N`` applications and ``C``
+candidate groups, versus the exhaustive ``O(C^N)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import InfeasibleAllocationError
+from ..system import ProcessorGroup
+from .allocation import Allocation, candidate_assignments, others_can_complete
+from .base import RAHeuristic, RAResult
+from .robustness import StageIEvaluator
+
+__all__ = ["GreedyRobustAllocator", "GreedyPackingAllocator"]
+
+
+class _GreedyBase(RAHeuristic):
+    """Shared machinery: order apps, assign best feasible group one by one."""
+
+    def __init__(self, *, power_of_two: bool = True) -> None:
+        self._power_of_two = power_of_two
+
+    # Subclasses define the per-assignment score (higher is better).
+    def _score(
+        self, evaluator: StageIEvaluator, app_name: str, group: ProcessorGroup
+    ) -> float:
+        raise NotImplementedError
+
+    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+        batch, system = evaluator.batch, evaluator.system
+        candidates = {
+            name: candidate_assignments(
+                name, batch, system, power_of_two=self._power_of_two
+            )
+            for name in batch.names
+        }
+        evaluations = 0
+
+        # Difficulty = best achievable score if the app had the whole system;
+        # hardest (lowest) first so constrained apps pick before resources
+        # are consumed.
+        difficulty: dict[str, float] = {}
+        for name, groups in candidates.items():
+            best = max(
+                self._score(evaluator, name, g) for g in groups
+            )
+            evaluations += len(groups)
+            difficulty[name] = best
+        order = sorted(batch.names, key=lambda n: difficulty[n])
+
+        supported = {
+            name: {g.ptype.name for g in candidates[name]} for name in batch.names
+        }
+        remaining = {t.name: t.count for t in system.types}
+        chosen: dict[str, ProcessorGroup] = {}
+        for i, name in enumerate(order):
+            later = order[i + 1 :]
+            feasible = [
+                g
+                for g in candidates[name]
+                if g.size <= remaining[g.ptype.name]
+                and others_can_complete(
+                    {
+                        t: remaining[t] - (g.size if t == g.ptype.name else 0)
+                        for t in remaining
+                    },
+                    [supported[other] for other in later],
+                )
+            ]
+            if not feasible:
+                raise InfeasibleAllocationError(
+                    f"greedy ran out of processors for application {name!r}"
+                )
+            # Highest score; tie -> fewest processors; tie -> type order.
+            best_group = max(
+                feasible,
+                key=lambda g: (
+                    self._score(evaluator, name, g),
+                    -g.size,
+                    -system.type_names.index(g.ptype.name),
+                ),
+            )
+            evaluations += len(feasible)
+            chosen[name] = best_group
+            remaining[best_group.ptype.name] -= best_group.size
+
+        allocation = Allocation(
+            chosen,
+            system=system,
+            batch=batch,
+            require_power_of_two=self._power_of_two,
+        )
+        return RAResult(
+            allocation=allocation,
+            robustness=evaluator.robustness(allocation),
+            heuristic=self.name,
+            evaluations=evaluations,
+        )
+
+
+class GreedyRobustAllocator(_GreedyBase):
+    """Hardest-first greedy maximizing per-application deadline probability."""
+
+    name = "greedy-robust"
+
+    def _score(self, evaluator, app_name, group):
+        return evaluator.app_deadline_prob(app_name, group)
+
+
+class GreedyPackingAllocator(_GreedyBase):
+    """Hardest-first greedy minimizing expected completion time."""
+
+    name = "greedy-packing"
+
+    def _score(self, evaluator, app_name, group):
+        return -evaluator.app_expected_time(app_name, group)

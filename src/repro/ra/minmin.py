@@ -1,0 +1,171 @@
+"""Stochastic Min-Min / Max-Min / Sufferage resource allocation.
+
+Classical batch-mode mapping heuristics (Ibarra & Kim 1977; widely used in
+the heterogeneous-computing literature the paper builds on, e.g. Shestak et
+al. [4]) adapted to the stochastic setting: the "completion time" of an
+assignment is replaced by its *deadline probability* under the execution-time
+and availability PMFs.
+
+Each round scores, for every unassigned application, its best feasible
+group:
+
+* **Min-Min** (here: *Max-Max* in probability space) — assign the
+  application whose best probability is highest first: lock in safe bets,
+  then spend leftover resources on hard applications.
+* **Max-Min** (*Min-Max*) — assign the application whose best probability is
+  lowest first: rescue the hardest application while resources remain.
+* **Sufferage** — assign the application that would suffer the largest
+  probability drop if it lost its best group to someone else.
+
+All three are ``O(N^2 * C)`` evaluations — polynomial, unlike the
+exhaustive search.
+"""
+
+from __future__ import annotations
+
+from ..errors import InfeasibleAllocationError
+from ..system import ProcessorGroup
+from .allocation import Allocation, candidate_assignments, others_can_complete
+from .base import RAHeuristic, RAResult
+from .robustness import StageIEvaluator
+
+__all__ = ["MinMinAllocator", "MaxMinAllocator", "SufferageAllocator"]
+
+
+class _RoundRobinBase(RAHeuristic):
+    """Round-based assignment: pick (app, group) per a selection rule.
+
+    ``frugality_eps`` implements resource frugality: among groups whose
+    deadline probability is within ``eps`` of the application's best, the
+    smallest group is preferred. Without it the probability objective always
+    weakly prefers more processors (Eq. 2 is monotone in ``n``), and early
+    assignments would starve later applications.
+    """
+
+    def __init__(
+        self, *, power_of_two: bool = True, frugality_eps: float = 1e-4
+    ) -> None:
+        if frugality_eps < 0:
+            raise ValueError("frugality_eps must be >= 0")
+        self._power_of_two = power_of_two
+        self._eps = frugality_eps
+
+    def _select(
+        self, scored: dict[str, list[tuple[float, ProcessorGroup]]]
+    ) -> str:
+        """Return the name of the application to assign this round.
+
+        ``scored[name]`` is that application's feasible (probability, group)
+        list sorted best-first.
+        """
+        raise NotImplementedError
+
+    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+        batch, system = evaluator.batch, evaluator.system
+        candidates = {
+            name: candidate_assignments(
+                name, batch, system, power_of_two=self._power_of_two
+            )
+            for name in batch.names
+        }
+        remaining = {t.name: t.count for t in system.types}
+        unassigned = list(batch.names)
+        chosen: dict[str, ProcessorGroup] = {}
+        evaluations = 0
+
+        supported = {
+            name: {g.ptype.name for g in candidates[name]}
+            for name in batch.names
+        }
+        while unassigned:
+            scored: dict[str, list[tuple[float, ProcessorGroup]]] = {}
+            for name in unassigned:
+                # A candidate is admissible only if, after taking it, every
+                # other unassigned application can still get a processor.
+                feasible = [
+                    g
+                    for g in candidates[name]
+                    if g.size <= remaining[g.ptype.name]
+                    and others_can_complete(
+                        {
+                            t: remaining[t]
+                            - (g.size if t == g.ptype.name else 0)
+                            for t in remaining
+                        },
+                        [
+                            supported[other]
+                            for other in unassigned
+                            if other != name
+                        ],
+                    )
+                ]
+                if not feasible:
+                    raise InfeasibleAllocationError(
+                        f"no processors left for application {name!r}"
+                    )
+                entries = sorted(
+                    (
+                        (evaluator.app_deadline_prob(name, g), g)
+                        for g in feasible
+                    ),
+                    key=lambda pg: (pg[0], -pg[1].size),
+                    reverse=True,
+                )
+                evaluations += len(feasible)
+                # Frugal best: smallest group within eps of the best prob.
+                best_prob = entries[0][0]
+                near = [pg for pg in entries if pg[0] >= best_prob - self._eps]
+                frugal_best = min(near, key=lambda pg: pg[1].size)
+                rest = [pg for pg in entries if pg[1] is not frugal_best[1]]
+                scored[name] = [frugal_best] + rest
+            pick = self._select(scored)
+            prob, group = scored[pick][0]
+            chosen[pick] = group
+            remaining[group.ptype.name] -= group.size
+            unassigned.remove(pick)
+
+        allocation = Allocation(
+            chosen,
+            system=system,
+            batch=batch,
+            require_power_of_two=self._power_of_two,
+        )
+        return RAResult(
+            allocation=allocation,
+            robustness=evaluator.robustness(allocation),
+            heuristic=self.name,
+            evaluations=evaluations,
+        )
+
+
+class MinMinAllocator(_RoundRobinBase):
+    """Assign the application with the *highest* best probability first."""
+
+    name = "min-min"
+
+    def _select(self, scored):
+        return max(scored, key=lambda name: scored[name][0][0])
+
+
+class MaxMinAllocator(_RoundRobinBase):
+    """Assign the application with the *lowest* best probability first."""
+
+    name = "max-min"
+
+    def _select(self, scored):
+        return min(scored, key=lambda name: scored[name][0][0])
+
+
+class SufferageAllocator(_RoundRobinBase):
+    """Assign the application with the largest best-vs-second-best gap."""
+
+    name = "sufferage"
+
+    def _select(self, scored):
+        def sufferage(name: str) -> float:
+            entries = scored[name]
+            if len(entries) == 1:
+                return float("inf")  # only one option: assign before it's gone
+            return entries[0][0] - entries[1][0]
+
+        return max(scored, key=sufferage)

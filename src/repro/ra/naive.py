@@ -1,0 +1,86 @@
+"""Naive initial mapping: simple load balancing (paper §II-A, §IV).
+
+"In naive IM, a simple load balancing technique is used to allocate an equal
+share of the available processors to each application. The load balancing
+allocation with the highest probability that all applications will complete
+before the deadline was chosen."
+
+Every application receives ``total processors / N`` processors (of a single
+type); among the feasible equal-share allocations the one with the highest
+joint deadline probability is returned. On the paper example this yields
+app1 -> 4 x type2, app2 -> 4 x type1, app3 -> 4 x type2 with phi_1 = 26%.
+"""
+
+from __future__ import annotations
+
+from ..errors import InfeasibleAllocationError
+from .allocation import enumerate_allocations
+from .base import RAHeuristic, RAResult
+from .robustness import StageIEvaluator
+
+__all__ = ["EqualShareAllocator"]
+
+
+class EqualShareAllocator(RAHeuristic):
+    """Naive IM: equal processor share per application.
+
+    Parameters
+    ----------
+    power_of_two:
+        Keep the paper's power-of-2 group-size constraint (default). The
+        equal share itself must then be a power of two or allocation fails.
+    """
+
+    name = "naive-equal-share"
+
+    def __init__(self, *, power_of_two: bool = True) -> None:
+        self._power_of_two = power_of_two
+
+    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+        batch = evaluator.batch
+        system = evaluator.system
+        n_apps = len(batch)
+        share = system.total_processors // n_apps
+        if share < 1:
+            raise InfeasibleAllocationError(
+                f"{system.total_processors} processors cannot give each of "
+                f"{n_apps} applications a whole share"
+            )
+        # The equal share ignores any remainder (those processors idle), as
+        # the naive policy distributes "an equal share" only. If no complete
+        # allocation exists at the exact share (share not a power of two, or
+        # the per-type counts cannot host it), fall back to successively
+        # smaller power-of-two shares — still "equal share per application".
+        shares = [share]
+        k = 1 << (share.bit_length() - 1)  # largest power of two <= share
+        while k >= 1:
+            if k not in shares:
+                shares.append(k)
+            k >>= 1
+        evaluations = 0
+        for s in shares:
+            best = None
+            best_rob = -1.0
+            try:
+                for allocation in enumerate_allocations(
+                    batch,
+                    system,
+                    power_of_two=self._power_of_two,
+                    sizes_filter={s},
+                ):
+                    evaluations += 1
+                    rob = evaluator.robustness(allocation)
+                    if rob > best_rob:
+                        best, best_rob = allocation, rob
+            except InfeasibleAllocationError:
+                continue
+            if best is not None:
+                return RAResult(
+                    allocation=best,
+                    robustness=best_rob,
+                    heuristic=self.name,
+                    evaluations=evaluations,
+                )
+        raise InfeasibleAllocationError(
+            f"no feasible equal-share allocation for shares {shares}"
+        )

@@ -1,0 +1,176 @@
+"""Stage-I robustness evaluation (the paper's phi_1 machinery).
+
+Given an allocation, each application's completion-time PMF is the Eq.-(2)
+parallel-time PMF composed ("convoluted", in the paper's wording) with its
+processor type's availability PMF; the allocation's robustness is the joint
+probability that every application's completion time is within the deadline:
+
+    phi_1 = prod_i Pr(T_i^eff <= Delta)
+
+(independent applications; paper §II-A and §IV). The evaluator caches
+per-(app, type, size) PMFs because heuristics evaluate many allocations that
+share assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import Application, Batch
+from ..pmf import PMF, dilate_by_availability
+from ..system import HeterogeneousSystem, ProcessorGroup
+from .allocation import Allocation
+
+__all__ = ["StageIEvaluator", "AllocationReport", "completion_pmf"]
+
+
+def completion_pmf(app: Application, group: ProcessorGroup) -> PMF:
+    """Effective completion-time PMF of one application on one group."""
+    par = app.parallel_time_pmf(group.ptype.name, group.size)
+    return dilate_by_availability(par, group.availability)
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Everything stage I reports about one allocation.
+
+    ``expected_times`` reproduces the paper's Table V
+    (``T^exp_{max_i, i}``); ``per_app_prob`` are the per-application deadline
+    probabilities whose product is ``robustness`` (phi_1).
+    """
+
+    allocation: Allocation
+    deadline: float
+    per_app_prob: dict[str, float]
+    expected_times: dict[str, float]
+    robustness: float
+
+    def meets_deadline_in_expectation(self) -> bool:
+        """True if every expected completion time is within the deadline."""
+        return all(t <= self.deadline for t in self.expected_times.values())
+
+
+class StageIEvaluator:
+    """Evaluates allocations for a fixed (batch, system, deadline).
+
+    The availability PMFs used are those carried by the *system* passed in —
+    stage I evaluates against the historical/expected availability (the
+    paper's case 1). Completion PMFs are memoized by
+    ``(app name, type name, group size)``.
+    """
+
+    def __init__(
+        self, batch: Batch, system: HeterogeneousSystem, deadline: float
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self._batch = batch
+        self._system = system
+        self._deadline = deadline
+        self._pmf_cache: dict[tuple[str, str, int], PMF] = {}
+
+    @property
+    def batch(self) -> Batch:
+        return self._batch
+
+    @property
+    def system(self) -> HeterogeneousSystem:
+        return self._system
+
+    @property
+    def deadline(self) -> float:
+        return self._deadline
+
+    # ------------------------------------------------------------ primitives
+
+    def app_completion_pmf(self, app_name: str, group: ProcessorGroup) -> PMF:
+        """Memoized effective completion-time PMF for one assignment.
+
+        The availability used is that of *this evaluator's system* (looked
+        up by the group's type name), not whatever system the group object
+        was built against — stage I always evaluates under its own
+        ``A_hat``, and sensitivity studies evaluate one allocation under
+        many degraded systems.
+        """
+        key = (app_name, group.ptype.name, group.size)
+        pmf = self._pmf_cache.get(key)
+        if pmf is None:
+            own_group = self._system.group(group.ptype.name, group.size)
+            pmf = completion_pmf(self._batch.app(app_name), own_group)
+            self._pmf_cache[key] = pmf
+        return pmf
+
+    def app_deadline_prob(self, app_name: str, group: ProcessorGroup) -> float:
+        """``Pr(T_i^eff <= Delta)`` for one assignment."""
+        return self.app_completion_pmf(app_name, group).prob_leq(self._deadline)
+
+    def app_expected_time(self, app_name: str, group: ProcessorGroup) -> float:
+        """Expected effective completion time for one assignment."""
+        return self.app_completion_pmf(app_name, group).mean()
+
+    # ------------------------------------------------------------ allocation
+
+    def robustness(self, allocation: Allocation) -> float:
+        """phi_1 of an allocation: joint deadline probability."""
+        prob = 1.0
+        for app_name, group in allocation.items():
+            prob *= self.app_deadline_prob(app_name, group)
+            if prob == 0.0:
+                break
+        return prob
+
+    def makespan_pmf(self, allocation: Allocation) -> PMF:
+        """Exact PMF of the system makespan ``Psi`` under an allocation.
+
+        ``Psi`` is the max of the applications' independent completion
+        times (paper §III-A); its full distribution supports deadline
+        sensitivity analysis beyond the single ``Pr(Psi <= Delta)`` number.
+        """
+        from ..pmf import max_independent
+
+        return max_independent(
+            [
+                self.app_completion_pmf(app_name, group)
+                for app_name, group in allocation.items()
+            ]
+        )
+
+    def phi1_curve(
+        self, allocation: Allocation, deadlines
+    ) -> list[tuple[float, float]]:
+        """``(deadline, Pr(Psi <= deadline))`` pairs over a deadline sweep."""
+        pmf = self.makespan_pmf(allocation)
+        return [(float(d), pmf.prob_leq(float(d))) for d in deadlines]
+
+    def min_deadline(self, allocation: Allocation, probability: float) -> float:
+        """Smallest deadline achieving the target joint probability.
+
+        The inverse view of phi_1: "what Delta would this allocation
+        support at confidence p?"
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {probability}"
+            )
+        return self.makespan_pmf(allocation).quantile(probability)
+
+    def report(self, allocation: Allocation) -> AllocationReport:
+        """Full per-application report for an allocation."""
+        per_app = {
+            app_name: self.app_deadline_prob(app_name, group)
+            for app_name, group in allocation.items()
+        }
+        expected = {
+            app_name: self.app_expected_time(app_name, group)
+            for app_name, group in allocation.items()
+        }
+        robustness = 1.0
+        for p in per_app.values():
+            robustness *= p
+        return AllocationReport(
+            allocation=allocation,
+            deadline=self._deadline,
+            per_app_prob=per_app,
+            expected_times=expected,
+            robustness=robustness,
+        )

@@ -1,0 +1,100 @@
+"""Terminal bar charts for the paper's figure-style data.
+
+The paper's Figures 3-6 are grouped bar charts (execution time per
+application per availability case, one bar per technique, with a horizontal
+deadline line). :func:`render_barchart` draws the same structure with
+Unicode block characters so the examples and the CLI can show the figures
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_barchart", "render_grouped_barchart"]
+
+_FULL = "█"
+_MARK = "┆"
+
+
+def render_barchart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    marker: float | None = None,
+    marker_label: str = "",
+    title: str | None = None,
+    value_fmt: str = ".0f",
+) -> str:
+    """Horizontal bar chart; optional vertical marker (e.g. the deadline).
+
+    Bars extending past the marker are annotated with ``!``.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise ValueError("need at least one bar")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    peak = max([*values, marker or 0.0])
+    if peak <= 0:
+        raise ValueError("all values are non-positive")
+    scale = width / peak
+    label_w = max(len(str(lab)) for lab in labels)
+    marker_col = round(marker * scale) if marker is not None else None
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_len = max(0, round(value * scale))
+        bar = _FULL * bar_len
+        if marker_col is not None:
+            if bar_len < marker_col:
+                bar = bar + " " * (marker_col - bar_len - 1) + _MARK
+            flag = " !" if value > (marker or 0.0) else ""
+        else:
+            flag = ""
+        lines.append(
+            f"{str(label).ljust(label_w)} |{bar} {format(value, value_fmt)}{flag}"
+        )
+    if marker is not None:
+        legend = f"{_MARK} = {marker_label or format(marker, value_fmt)}"
+        lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_grouped_barchart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 50,
+    marker: float | None = None,
+    marker_label: str = "",
+    title: str | None = None,
+    value_fmt: str = ".0f",
+) -> str:
+    """Bars grouped by an outer key (the paper's per-case figure panels).
+
+    ``groups`` maps group name -> {bar label: value}.
+    """
+    if not groups:
+        raise ValueError("need at least one group")
+    blocks = []
+    if title:
+        blocks.append(title)
+    for group_name, bars in groups.items():
+        blocks.append(
+            render_barchart(
+                list(bars.keys()),
+                list(bars.values()),
+                width=width,
+                marker=marker,
+                marker_label=marker_label,
+                title=f"-- {group_name} --",
+                value_fmt=value_fmt,
+            )
+        )
+    return "\n".join(blocks)

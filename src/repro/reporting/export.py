@@ -1,0 +1,62 @@
+"""CSV / JSON export of experiment results.
+
+The benchmark harness writes machine-readable copies of every regenerated
+table and figure series next to the printed output, so downstream analysis
+(plotting, regression tracking) does not have to re-run simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["write_csv", "write_json", "rows_to_dicts"]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows to CSV with a header line; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but there are "
+                    f"{len(headers)} headers"
+                )
+            writer.writerow(list(row))
+    return path
+
+
+def write_json(path: str | Path, payload: Mapping | Sequence) -> Path:
+    """Write a JSON document (pretty-printed, stable key order)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=_coerce)
+        fh.write("\n")
+    return path
+
+
+def rows_to_dicts(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> list[dict[str, object]]:
+    """Zip rows with headers into JSON-friendly dictionaries."""
+    return [dict(zip(headers, row)) for row in rows]
+
+
+def _coerce(obj: object):
+    """JSON fallback for numpy scalars and other simple objects."""
+    for attr in ("item",):  # numpy scalar -> python scalar
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            return fn()
+    return str(obj)

@@ -1,0 +1,69 @@
+"""ASCII Gantt charts of chunk execution timelines.
+
+Renders an :class:`~repro.sim.AppRunResult`'s chunk records as one row per
+worker, showing when each chunk computed — the standard picture for
+explaining why one DLS technique balanced better than another (idle gaps,
+dragging chunks, serial prologue).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..sim.results import AppRunResult, ChunkRecord
+
+__all__ = ["render_gantt"]
+
+_BLOCKS = "0123456789abcdefghijklmnopqrstuvwxyz"
+_IDLE = "."
+_SERIAL = "S"
+
+
+def render_gantt(
+    result: AppRunResult,
+    *,
+    width: int = 80,
+    title: str | None = None,
+) -> str:
+    """Render one application run as a per-worker timeline.
+
+    Each chunk is drawn with a repeating digit/letter identifying its
+    dispatch order (mod 36); ``.`` is idle time, ``S`` the serial phase on
+    the master. The scale line at the bottom marks the makespan.
+    """
+    if width < 20:
+        raise ValueError("width must be >= 20")
+    if result.makespan <= 0:
+        raise ValueError("run has non-positive makespan")
+    scale = width / result.makespan
+    workers = sorted(result.worker_finish_times)
+    rows: dict[int, list[str]] = {w: [_IDLE] * width for w in workers}
+
+    def span(start: float, end: float) -> range:
+        a = min(width - 1, int(start * scale))
+        b = min(width, max(a + 1, int(round(end * scale))))
+        return range(a, b)
+
+    if result.serial_time > 0 and workers:
+        master = result.master_id if result.master_id is not None else workers[0]
+        for k in span(0.0, result.serial_time):
+            rows[master][k] = _SERIAL
+
+    for idx, chunk in enumerate(result.chunks):
+        mark = _BLOCKS[idx % len(_BLOCKS)]
+        for k in span(chunk.start_time, chunk.finish_time):
+            rows[chunk.worker_id][k] = mark
+
+    label_w = max(len(f"w{w}") for w in workers)
+    lines = []
+    if title is None:
+        title = (
+            f"{result.app_name} / {result.technique}: makespan "
+            f"{result.makespan:.0f}, {result.n_chunks} chunks"
+        )
+    lines.append(title)
+    for w in workers:
+        lines.append(f"w{w}".ljust(label_w) + " |" + "".join(rows[w]) + "|")
+    scale_line = " " * label_w + " 0" + " " * (width - 10) + f"{result.makespan:8.0f}"
+    lines.append(scale_line)
+    return "\n".join(lines)

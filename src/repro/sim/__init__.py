@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate for stage II."""
+
+from .events import Event, EventQueue
+from .engine import Simulator
+from .worker import SimWorker, ChunkExecution
+from .results import (
+    ChunkRecord,
+    AppRunResult,
+    BatchRunResult,
+    ReplicatedAppStats,
+    ReplicatedBatchStats,
+)
+from .loopsim import (
+    LoopSimConfig,
+    simulate_application,
+    replicate_application,
+    DEFAULT_OVERHEAD,
+    DEFAULT_AVAIL_INTERVAL,
+)
+from .timesteps import (
+    TimestepResult,
+    TimesteppedRunResult,
+    simulate_timestepped,
+)
+from .batchsim import simulate_batch, replicate_batch
+from .planning import ReplicationPlan, plan_replications
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimWorker",
+    "ChunkExecution",
+    "ChunkRecord",
+    "AppRunResult",
+    "BatchRunResult",
+    "ReplicatedAppStats",
+    "ReplicatedBatchStats",
+    "LoopSimConfig",
+    "simulate_application",
+    "replicate_application",
+    "TimestepResult",
+    "TimesteppedRunResult",
+    "simulate_timestepped",
+    "simulate_batch",
+    "replicate_batch",
+    "ReplicationPlan",
+    "plan_replications",
+    "DEFAULT_OVERHEAD",
+    "DEFAULT_AVAIL_INTERVAL",
+]

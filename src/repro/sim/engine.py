@@ -1,0 +1,86 @@
+"""Minimal discrete-event simulation engine.
+
+The engine advances a clock through an :class:`~repro.sim.events.EventQueue`
+of callbacks. It is deliberately small — the loop-scheduling simulation
+(:mod:`repro.sim.loopsim`) is its only in-library client, but it is exposed
+as a reusable substrate (e.g. the examples use it to script custom
+perturbation scenarios).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import SimulationError
+from .events import EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Callback-driven discrete-event simulator.
+
+    Callbacks receive the simulator instance; they may schedule further
+    events. Time never flows backwards.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[["Simulator"], None]) -> None:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        self._queue.push(time, callback)
+
+    def schedule_in(self, delay: float, callback: Callable[["Simulator"], None]) -> None:
+        """Schedule ``callback`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        self._processed += 1
+        event.payload(self)
+        return True
+
+    def run(self, until: float | None = None, *, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains (or time ``until``); returns final time.
+
+        ``max_events`` guards against runaway simulations.
+        """
+        budget = max_events
+        while self._queue:
+            if until is not None and self._queue.peek().time > until:
+                self._now = until
+                break
+            if budget <= 0:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a scheduling livelock"
+                )
+            self.step()
+            budget -= 1
+        return self._now

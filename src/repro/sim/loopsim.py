@@ -1,0 +1,275 @@
+"""Master–worker loop-scheduling simulation of one application (stage II).
+
+The execution model follows the paper's §III-B: an application's serial
+iterations run first on the group's master processor; the parallel loop is
+then scheduled across the whole group by a DLS technique — each time a
+processor becomes free, the technique's session computes "a new size for the
+next chunk of ready-to-be-executed loop iterations ... offered for execution
+to the first processor that finished executing other assigned chunks".
+
+Every dispatch pays a wall-clock scheduling ``overhead`` (master round-trip)
+before the chunk starts computing; each processor's compute rate is
+modulated by its realized availability process, so a chunk started under
+full availability slows down if availability drops mid-chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps import Application
+from ..dls import DLSTechnique, WorkerState
+from ..errors import SimulationError
+from ..rng import spawn_rngs
+from ..system import (
+    AvailabilityModel,
+    ProcessorGroup,
+    ResampledAvailability,
+)
+from .events import EventQueue
+from .results import AppRunResult, ChunkRecord, ReplicatedAppStats
+from .worker import SimWorker
+
+__all__ = ["LoopSimConfig", "simulate_application", "replicate_application"]
+
+#: Default wall-clock cost of dispatching one chunk (master round-trip).
+DEFAULT_OVERHEAD = 1.0
+
+#: Default re-sampling interval of the runtime availability processes.
+DEFAULT_AVAIL_INTERVAL = 100.0
+
+
+@dataclass(frozen=True)
+class LoopSimConfig:
+    """Simulator knobs shared by all stage-II experiments.
+
+    ``availability_interval`` is the piecewise-constant re-sampling period
+    of the runtime availability processes (in the application's time units);
+    ``overhead`` the per-chunk dispatch cost. Both default to values that
+    are small relative to the paper example's ~10^3-unit makespans.
+
+    ``master_policy`` selects the group processor executing the serial
+    iterations: ``"first"`` uses processor 0 (an arbitrary coordinator);
+    ``"best-available"`` models a resource manager that designates the
+    currently least-loaded processor as coordinator.
+    """
+
+    overhead: float = DEFAULT_OVERHEAD
+    availability_interval: float = DEFAULT_AVAIL_INTERVAL
+    include_serial: bool = True
+    master_policy: str = "first"
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise SimulationError(f"overhead must be >= 0, got {self.overhead}")
+        if self.availability_interval <= 0:
+            raise SimulationError(
+                f"availability interval must be > 0, got {self.availability_interval}"
+            )
+        if self.master_policy not in ("first", "best-available"):
+            raise SimulationError(
+                f"unknown master_policy {self.master_policy!r}; "
+                "expected 'first' or 'best-available'"
+            )
+
+
+def _build_workers(
+    group: ProcessorGroup,
+    availability: AvailabilityModel | list[AvailabilityModel] | None,
+    config: LoopSimConfig,
+    seed: int | None,
+) -> list[SimWorker]:
+    """Spawn one SimWorker per group processor with independent streams."""
+    n = group.size
+    if availability is None:
+        availability = ResampledAvailability(
+            group.availability, interval=config.availability_interval
+        )
+    if isinstance(availability, AvailabilityModel):
+        models = [availability] * n
+    else:
+        models = list(availability)
+        if len(models) != n:
+            raise SimulationError(
+                f"got {len(models)} availability models for {n} workers"
+            )
+    # Two streams per worker: availability realization and iteration draws.
+    streams = spawn_rngs(seed, 2 * n)
+    return [
+        SimWorker(
+            worker_id=i,
+            availability=models[i].spawn(
+                streams[2 * i], capacity=group.ptype.capacity
+            ),
+            rng=streams[2 * i + 1],
+        )
+        for i in range(n)
+    ]
+
+
+def run_parallel_loop(
+    workers: list[SimWorker],
+    session,
+    par_model,
+    start_time: float,
+    config: LoopSimConfig,
+) -> tuple[list[ChunkRecord], dict[int, float], int]:
+    """Drive one scheduling session to completion on the given workers.
+
+    Returns ``(chunk records, per-worker finish times, iterations
+    executed)``. Measurements become visible to the scheduling session only
+    when a chunk *finishes* (the worker's next request) — recording at
+    dispatch time would leak future knowledge into other workers' chunk
+    decisions.
+    """
+    queue = EventQueue()
+    for w in workers:
+        queue.push(start_time, w)
+
+    chunks: list[ChunkRecord] = []
+    finish_times: dict[int, float] = {w.worker_id: start_time for w in workers}
+    executed = 0
+    pending: dict[int, tuple[int, np.ndarray, float]] = {}
+
+    while queue:
+        event = queue.pop()
+        worker: SimWorker = event.payload
+        now = event.time
+        if worker.worker_id in pending:
+            size_done, wall_times, chunk_time = pending.pop(worker.worker_id)
+            session.record(
+                worker.worker_id, size_done, wall_times, chunk_time=chunk_time
+            )
+        size = session.next_chunk(worker.worker_id)
+        if size == 0:
+            finish_times.setdefault(worker.worker_id, now)
+            continue
+        start = now + config.overhead
+        execution = worker.execute_chunk(start, size, par_model)
+        pending[worker.worker_id] = (
+            size,
+            execution.iteration_wall_times,
+            execution.finish_time - now,
+        )
+        chunks.append(
+            ChunkRecord(
+                worker_id=worker.worker_id,
+                size=size,
+                request_time=now,
+                start_time=start,
+                finish_time=execution.finish_time,
+            )
+        )
+        executed += size
+        finish_times[worker.worker_id] = execution.finish_time
+        queue.push(execution.finish_time, worker)
+    return chunks, finish_times, executed
+
+
+def simulate_application(
+    app: Application,
+    group: ProcessorGroup,
+    technique: DLSTechnique,
+    *,
+    seed: int | None = None,
+    config: LoopSimConfig | None = None,
+    availability: AvailabilityModel | list[AvailabilityModel] | None = None,
+) -> AppRunResult:
+    """Simulate one execution of ``app`` on ``group`` under ``technique``.
+
+    ``availability`` overrides the runtime availability model (default: the
+    group's availability PMF re-sampled every ``config.availability_interval``
+    time units). Pass per-worker ``TraceAvailability`` models to replay a
+    frozen realization across techniques.
+
+    Returns an :class:`~repro.sim.results.AppRunResult`; its ``makespan``
+    includes the serial phase (if enabled) and the full parallel loop.
+    """
+    config = config or LoopSimConfig()
+    workers = _build_workers(group, availability, config, seed)
+    type_name = group.ptype.name
+
+    # ----------------------------------------------------------- serial phase
+    serial_end = 0.0
+    master_id: int | None = None
+    if config.include_serial and app.n_serial > 0:
+        serial_model = app.serial_iteration_model(type_name)
+        if serial_model is not None:
+            if config.master_policy == "best-available":
+                master = max(workers, key=lambda w: w.availability.level_at(0.0))
+            else:
+                master = workers[0]
+            master_id = master.worker_id
+            execution = master.execute_chunk(0.0, app.n_serial, serial_model)
+            serial_end = execution.finish_time
+
+    # --------------------------------------------------------- parallel phase
+    par_model = app.parallel_iteration_model(type_name)
+    states = [
+        WorkerState(
+            worker_id=w.worker_id,
+            relative_power=group.ptype.capacity
+            * group.ptype.expected_availability,
+        )
+        for w in workers
+    ]
+    session = technique.session(app.n_parallel, states)
+    chunks, finish_times, executed = run_parallel_loop(
+        workers, session, par_model, serial_end, config
+    )
+
+    if executed != app.n_parallel:
+        raise SimulationError(
+            f"simulated {executed} parallel iterations, expected {app.n_parallel}"
+        )
+    makespan = max([serial_end, *(c.finish_time for c in chunks)])
+    return AppRunResult(
+        app_name=app.name,
+        technique=technique.name,
+        group_type=type_name,
+        group_size=group.size,
+        serial_time=serial_end,
+        makespan=makespan,
+        chunks=tuple(chunks),
+        worker_finish_times=finish_times,
+        iterations_executed=executed,
+        master_id=master_id,
+    )
+
+
+def replicate_application(
+    app: Application,
+    group: ProcessorGroup,
+    technique: DLSTechnique,
+    *,
+    replications: int = 10,
+    seed: int | None = None,
+    config: LoopSimConfig | None = None,
+    availability: AvailabilityModel | list[AvailabilityModel] | None = None,
+) -> ReplicatedAppStats:
+    """Run ``replications`` independent simulations; aggregate makespans.
+
+    Replication ``r`` uses root seed ``(seed, r)`` derived deterministically,
+    so adding replications never perturbs earlier ones.
+    """
+    if replications < 1:
+        raise SimulationError(f"need >= 1 replication, got {replications}")
+    base = seed if seed is not None else 0
+    makespans = []
+    for r in range(replications):
+        result = simulate_application(
+            app,
+            group,
+            technique,
+            seed=base * 1_000_003 + r,
+            config=config,
+            availability=availability,
+        )
+        makespans.append(result.makespan)
+    return ReplicatedAppStats(
+        app_name=app.name,
+        technique=technique.name,
+        makespans=tuple(makespans),
+    )

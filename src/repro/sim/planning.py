@@ -1,0 +1,115 @@
+"""Replication planning: how many runs until the estimate is tight enough.
+
+Simulation studies must choose a replication count; too few and the
+technique comparison is noise (the Table-VI tie problem), too many and the
+grid is wastefully slow. :func:`plan_replications` runs a sequential
+procedure: double the replication count until the Student-t confidence
+interval of the mean makespan is narrower than the requested half-width
+(absolute or relative), reusing earlier replications at every step (the
+seeded streams make replication prefixes stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import Application
+from ..dls import DLSTechnique
+from ..errors import SimulationError
+from ..system import AvailabilityModel, ProcessorGroup
+from .loopsim import LoopSimConfig, replicate_application
+from .results import ReplicatedAppStats
+
+__all__ = ["ReplicationPlan", "plan_replications"]
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """Outcome of the sequential replication procedure."""
+
+    replications: int
+    stats: ReplicatedAppStats
+    halfwidth: float
+    target_halfwidth: float
+    converged: bool
+
+    @property
+    def relative_halfwidth(self) -> float:
+        mean = self.stats.mean
+        return self.halfwidth / mean if mean > 0 else float("inf")
+
+
+def plan_replications(
+    app: Application,
+    group: ProcessorGroup,
+    technique: DLSTechnique,
+    *,
+    relative_halfwidth: float | None = 0.02,
+    absolute_halfwidth: float | None = None,
+    confidence: float = 0.95,
+    initial: int = 5,
+    max_replications: int = 1_000,
+    seed: int | None = None,
+    config: LoopSimConfig | None = None,
+    availability: AvailabilityModel | list[AvailabilityModel] | None = None,
+) -> ReplicationPlan:
+    """Replicate until the mean-makespan CI is tight enough.
+
+    Exactly one of ``relative_halfwidth`` (fraction of the mean) or
+    ``absolute_halfwidth`` (time units) must be given. The procedure doubles
+    the replication count starting from ``initial``; because replication
+    prefixes are seed-stable, each step only re-simulates the *new*
+    replications conceptually (the implementation re-runs for simplicity,
+    which keeps it side-effect free).
+
+    Returns a plan with ``converged = False`` if ``max_replications`` was
+    reached first.
+    """
+    if (relative_halfwidth is None) == (absolute_halfwidth is None):
+        raise SimulationError(
+            "specify exactly one of relative_halfwidth / absolute_halfwidth"
+        )
+    if relative_halfwidth is not None and relative_halfwidth <= 0:
+        raise SimulationError("relative_halfwidth must be positive")
+    if absolute_halfwidth is not None and absolute_halfwidth <= 0:
+        raise SimulationError("absolute_halfwidth must be positive")
+    if initial < 2:
+        raise SimulationError("need at least 2 initial replications for a CI")
+    if max_replications < initial:
+        raise SimulationError("max_replications must be >= initial")
+
+    n = initial
+    while True:
+        stats = replicate_application(
+            app,
+            group,
+            technique,
+            replications=n,
+            seed=seed,
+            config=config,
+            availability=availability,
+        )
+        lo, hi = stats.mean_ci(confidence)
+        halfwidth = (hi - lo) / 2.0
+        target = (
+            absolute_halfwidth
+            if absolute_halfwidth is not None
+            else relative_halfwidth * stats.mean
+        )
+        if halfwidth <= target:
+            return ReplicationPlan(
+                replications=n,
+                stats=stats,
+                halfwidth=halfwidth,
+                target_halfwidth=target,
+                converged=True,
+            )
+        if n >= max_replications:
+            return ReplicationPlan(
+                replications=n,
+                stats=stats,
+                halfwidth=halfwidth,
+                target_halfwidth=target,
+                converged=False,
+            )
+        n = min(2 * n, max_replications)

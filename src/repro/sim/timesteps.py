@@ -1,0 +1,146 @@
+"""Time-stepping application simulation (AWF's natural habitat).
+
+Many of the scientific applications the DLS literature targets are
+*time-stepping*: the same parallel loop executes once per simulation step,
+for many steps. The AWF technique (as opposed to its B/C variants) was
+designed exactly for this setting — it freezes its weights within one step
+and refreshes them between steps from the accumulated measurements
+(Cariño & Banicescu 2008).
+
+:func:`simulate_timestepped` runs ``n_timesteps`` successive executions of
+an application's loop on one persistent set of workers: availability
+processes continue across steps (a processor loaded in step 3 is still
+loaded when step 4 starts) and the per-worker
+:class:`~repro.dls.WorkerState` objects are carried from session to
+session, which is what lets AWF adapt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import Application
+from ..dls import DLSTechnique, WorkerState
+from ..errors import SimulationError
+from ..system import AvailabilityModel, ProcessorGroup
+from .loopsim import LoopSimConfig, _build_workers, run_parallel_loop
+from .results import ChunkRecord
+
+__all__ = ["TimestepResult", "TimesteppedRunResult", "simulate_timestepped"]
+
+
+@dataclass(frozen=True)
+class TimestepResult:
+    """One timestep's loop execution."""
+
+    index: int
+    start_time: float
+    finish_time: float
+    chunks: tuple[ChunkRecord, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass(frozen=True)
+class TimesteppedRunResult:
+    """All timesteps of one run."""
+
+    app_name: str
+    technique: str
+    steps: tuple[TimestepResult, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last timestep."""
+        return self.steps[-1].finish_time
+
+    @property
+    def step_durations(self) -> tuple[float, ...]:
+        return tuple(s.duration for s in self.steps)
+
+    def improvement_ratio(self) -> float:
+        """First-step duration over last-step duration.
+
+        > 1 means the technique got faster as it learned (the adaptive
+        signature); ~1 for non-adaptive techniques under stationary
+        availability.
+        """
+        first, last = self.steps[0].duration, self.steps[-1].duration
+        return first / last if last > 0 else float("inf")
+
+
+def simulate_timestepped(
+    app: Application,
+    group: ProcessorGroup,
+    technique: DLSTechnique,
+    *,
+    n_timesteps: int,
+    seed: int | None = None,
+    config: LoopSimConfig | None = None,
+    availability: AvailabilityModel | list[AvailabilityModel] | None = None,
+) -> TimesteppedRunResult:
+    """Run ``n_timesteps`` executions of the application's parallel loop.
+
+    The serial phase, if any, executes once at the start of every timestep
+    on the configured master (the loop body's sequential prologue).
+    Worker state — including every adaptive technique's measurements —
+    persists across timesteps.
+    """
+    if n_timesteps < 1:
+        raise SimulationError(f"need >= 1 timestep, got {n_timesteps}")
+    config = config or LoopSimConfig()
+    workers = _build_workers(group, availability, config, seed)
+    type_name = group.ptype.name
+    par_model = app.parallel_iteration_model(type_name)
+    serial_model = (
+        app.serial_iteration_model(type_name) if config.include_serial else None
+    )
+    states = [
+        WorkerState(
+            worker_id=w.worker_id,
+            relative_power=group.ptype.capacity
+            * group.ptype.expected_availability,
+        )
+        for w in workers
+    ]
+
+    steps: list[TimestepResult] = []
+    clock = 0.0
+    for step in range(n_timesteps):
+        start = clock
+        if serial_model is not None and app.n_serial > 0:
+            if config.master_policy == "best-available":
+                master = max(
+                    workers, key=lambda w: w.availability.level_at(start)
+                )
+            else:
+                master = workers[0]
+            execution = master.execute_chunk(start, app.n_serial, serial_model)
+            loop_start = execution.finish_time
+        else:
+            loop_start = start
+        session = technique.session(app.n_parallel, states)
+        chunks, _finish_times, executed = run_parallel_loop(
+            workers, session, par_model, loop_start, config
+        )
+        if executed != app.n_parallel:
+            raise SimulationError(
+                f"timestep {step}: executed {executed} of {app.n_parallel}"
+            )
+        finish = max([loop_start, *(c.finish_time for c in chunks)])
+        steps.append(
+            TimestepResult(
+                index=step,
+                start_time=start,
+                finish_time=finish,
+                chunks=tuple(chunks),
+            )
+        )
+        clock = finish
+    return TimesteppedRunResult(
+        app_name=app.name,
+        technique=technique.name,
+        steps=tuple(steps),
+    )

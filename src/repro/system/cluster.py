@@ -1,0 +1,160 @@
+"""The heterogeneous computing system and processor groups.
+
+A :class:`HeterogeneousSystem` is an ordered collection of
+:class:`~repro.system.processor.ProcessorType` objects; a
+:class:`ProcessorGroup` is the set of processors of one type allocated to one
+application in stage I (the paper requires power-of-2 group sizes of a single
+type). The module also implements the paper's Eq. (1) weighted system
+availability, the quantity whose percent decrease defines stage-II robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from ..errors import ModelError
+from ..pmf import PMF
+from .processor import Processor, ProcessorType
+
+__all__ = [
+    "HeterogeneousSystem",
+    "ProcessorGroup",
+    "weighted_system_availability",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorGroup:
+    """``n`` processors of a single type, assigned to one application."""
+
+    ptype: ProcessorType
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ModelError(f"group size must be >= 1, got {self.size}")
+        if self.size > self.ptype.count:
+            raise ModelError(
+                f"group of {self.size} exceeds the {self.ptype.count} "
+                f"processors of type {self.ptype.name!r}"
+            )
+
+    @property
+    def processors(self) -> tuple[Processor, ...]:
+        """Concrete processors in this group (indices ``0..size-1``)."""
+        return tuple(Processor(self.ptype, i) for i in range(self.size))
+
+    @property
+    def availability(self) -> PMF:
+        """Availability PMF of the group's processor type."""
+        return self.ptype.availability
+
+    @property
+    def expected_rate(self) -> float:
+        """Aggregate expected compute rate of the whole group."""
+        return self.size * self.ptype.expected_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessorGroup({self.size} x {self.ptype.name})"
+
+
+class HeterogeneousSystem:
+    """An immutable heterogeneous system: ordered processor types.
+
+    Type names must be unique; lookup is by name or index.
+    """
+
+    def __init__(self, types: Iterable[ProcessorType]) -> None:
+        types = tuple(types)
+        if not types:
+            raise ModelError("a system needs at least one processor type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate processor type names: {names}")
+        self._types = types
+        self._by_name = {t.name: t for t in types}
+
+    @property
+    def types(self) -> tuple[ProcessorType, ...]:
+        return self._types
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self._types)
+
+    def type(self, key: str | int) -> ProcessorType:
+        """Look up a processor type by name or positional index."""
+        if isinstance(key, int):
+            try:
+                return self._types[key]
+            except IndexError:
+                raise ModelError(
+                    f"type index {key} out of range (system has "
+                    f"{len(self._types)} types)"
+                ) from None
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise ModelError(f"unknown processor type {key!r}") from None
+
+    @property
+    def total_processors(self) -> int:
+        return sum(t.count for t in self._types)
+
+    def counts(self) -> dict[str, int]:
+        """``{type name: processor count}``."""
+        return {t.name: t.count for t in self._types}
+
+    def group(self, type_key: str | int, size: int) -> ProcessorGroup:
+        """Create a :class:`ProcessorGroup` of ``size`` processors of a type."""
+        return ProcessorGroup(self.type(type_key), size)
+
+    def with_availabilities(
+        self, availabilities: Mapping[str, PMF]
+    ) -> "HeterogeneousSystem":
+        """Copy of the system with per-type availability PMFs replaced.
+
+        Types not present in ``availabilities`` keep their current PMF. This
+        is how a "runtime availability case" (paper Table I cases 2-4) is
+        applied to the reference system.
+        """
+        unknown = set(availabilities) - set(self._by_name)
+        if unknown:
+            raise ModelError(f"unknown processor types: {sorted(unknown)}")
+        return HeterogeneousSystem(
+            t.with_availability(availabilities[t.name])
+            if t.name in availabilities
+            else t
+            for t in self._types
+        )
+
+    def weighted_availability(self) -> float:
+        """Paper Eq. (1): processor-count-weighted expected availability."""
+        return weighted_system_availability(self._types)
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{t.count} x {t.name}" for t in self._types)
+        return f"HeterogeneousSystem({inner})"
+
+
+def weighted_system_availability(types: Iterable[ProcessorType]) -> float:
+    """Paper Eq. (1): ``sum_j p_j e_j / sum_j p_j``.
+
+    ``p_j`` is the processor count and ``e_j`` the expected availability of
+    type ``j``. (The paper's denominator is written as the total allocated
+    processors ``sum_i max_i``; since every processor is allocated in the
+    example, both denominators coincide — we use the total processor count,
+    which is the quantity Table I actually reports.)
+    """
+    types = list(types)
+    total = sum(t.count for t in types)
+    if total == 0:
+        raise ModelError("cannot compute weighted availability of empty system")
+    return sum(t.count * t.expected_availability for t in types) / total

@@ -1,0 +1,141 @@
+"""Correlated availability across processors and processor types.
+
+The paper's §V flags "exploring the possible correlation between the
+availabilities for different processor types" as future work: stage I's
+robustness arithmetic multiplies per-application probabilities, which is
+exact only under independence. This module provides the machinery to
+*induce* correlation at runtime and measure its effect:
+
+* :class:`SharedLoadModulator` — one realized, system-wide "background
+  load" trajectory (a Markov-modulated multiplier in ``(0, 1]``, frozen as
+  a trace at construction so every consumer sees the same realization);
+* :class:`ModulatedAvailability` — wraps any per-processor
+  :class:`~repro.system.availability.AvailabilityModel` so its realized
+  level is multiplied by the shared trajectory. Every processor wrapped by
+  the same modulator experiences the same background load at the same time
+  — that is the correlation.
+
+With a single modulator state of 1.0 the wrapper is the identity, so
+studies can sweep correlation strength through the modulator's depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+from ..rng import ensure_rng
+from .availability import (
+    AvailabilityModel,
+    AvailabilityProcess,
+    MarkovAvailability,
+)
+
+__all__ = ["SharedLoadModulator", "ModulatedAvailability"]
+
+#: Floor applied after modulation so levels stay strictly positive.
+MIN_LEVEL = 1e-3
+
+
+class SharedLoadModulator:
+    """One realized system-wide load trajectory shared by many processors.
+
+    Parameters
+    ----------
+    levels, mean_sojourn, transition:
+        The Markov modulation (multipliers in ``(0, 1]``; see
+        :class:`~repro.system.availability.MarkovAvailability`).
+    horizon:
+        Length of the pre-realized trajectory; queries beyond it see the
+        final level (simulations should stay within the horizon).
+    resolution:
+        Sampling step used to freeze the trajectory.
+    rng:
+        Seed or generator; the same seed yields the same shared load.
+    """
+
+    def __init__(
+        self,
+        levels: tuple[float, ...] = (1.0, 0.6, 0.3),
+        mean_sojourn: tuple[float, ...] = (800.0, 400.0, 200.0),
+        transition: tuple[tuple[float, ...], ...] | None = None,
+        *,
+        horizon: float = 50_000.0,
+        resolution: float = 10.0,
+        rng=None,
+    ) -> None:
+        if horizon <= 0 or resolution <= 0:
+            raise ModelError("horizon and resolution must be positive")
+        n = len(levels)
+        if transition is None:
+            transition = tuple(
+                tuple(0.0 if i == j else 1.0 / (n - 1) for j in range(n))
+                for i in range(n)
+            ) if n > 1 else ((1.0,),)
+        model = MarkovAvailability(levels, mean_sojourn, transition)
+        process = model.spawn(ensure_rng(rng))
+        self._times = np.arange(0.0, horizon, resolution)
+        self._levels = np.array(
+            [process.level_at(float(t)) for t in self._times]
+        )
+        self._resolution = resolution
+        self._horizon = horizon
+        self._stationary = model.expected_level()
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    @property
+    def resolution(self) -> float:
+        return self._resolution
+
+    def level_at(self, t: float) -> float:
+        """Shared load multiplier in effect at time ``t``."""
+        if t < 0:
+            raise ModelError(f"time must be >= 0, got {t}")
+        idx = min(int(t / self._resolution), len(self._levels) - 1)
+        return float(self._levels[idx])
+
+    def expected_level(self) -> float:
+        """Stationary mean multiplier of the modulation."""
+        return self._stationary
+
+    def modulate(self, base: AvailabilityModel) -> "ModulatedAvailability":
+        """Wrap a per-processor model with this shared trajectory."""
+        return ModulatedAvailability(base=base, modulator=self)
+
+
+@dataclass(frozen=True)
+class ModulatedAvailability(AvailabilityModel):
+    """A per-processor model whose level is scaled by a shared trajectory.
+
+    The realized process is piecewise-constant at the modulator's
+    resolution: each segment's level is
+    ``max(base_level(t) * shared_level(t), MIN_LEVEL)``.
+    """
+
+    base: AvailabilityModel
+    modulator: SharedLoadModulator = field(compare=False)
+
+    def spawn(self, rng=None, *, capacity: float = 1.0) -> AvailabilityProcess:
+        base_proc = self.base.spawn(rng, capacity=1.0)
+        step = self.modulator.resolution
+        modulator = self.modulator
+
+        def gen():
+            t = 0.0
+            while True:
+                level = max(
+                    base_proc.level_at(t) * modulator.level_at(t), MIN_LEVEL
+                )
+                yield (step, level)
+                t += step
+
+        return AvailabilityProcess(gen(), capacity=capacity)
+
+    def expected_level(self) -> float:
+        """Product approximation (base and modulator quasi-independent)."""
+        return self.base.expected_level() * self.modulator.expected_level()

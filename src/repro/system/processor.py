@@ -1,0 +1,112 @@
+"""Processor types and processors of the heterogeneous system model.
+
+The paper's system is a collection of processors partitioned into *types*
+(paper §IV: "twelve processors of two types"). Each type has:
+
+* a count of identical processors,
+* a relative computational *capacity* (a dimensionless speed factor; the
+  paper encodes speed differences in the per-type execution-time PMFs, so
+  the paper example uses capacity 1.0 everywhere, but the model supports
+  explicit capacities for generated workloads), and
+* an availability PMF ``alpha_j`` over ``(0, 1]`` describing the fraction of
+  the machine usable by the application (paper Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from ..pmf import PMF, deterministic
+
+__all__ = ["ProcessorType", "Processor"]
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """A class of identical processors.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"type1"``).
+    count:
+        Number of processors of this type in the system (>= 1).
+    availability:
+        PMF of the availability fraction, support in ``(0, 1]``. Defaults to
+        a fully dedicated machine.
+    capacity:
+        Relative speed factor (> 0). Execution-time PMFs are expressed per
+        type, so this only matters for synthetic workload generation and for
+        weighting in WF-style DLS techniques.
+    """
+
+    name: str
+    count: int
+    availability: PMF = field(default_factory=lambda: deterministic(1.0))
+    capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("processor type needs a non-empty name")
+        if self.count < 1:
+            raise ModelError(
+                f"processor type {self.name!r} needs count >= 1, got {self.count}"
+            )
+        if self.capacity <= 0:
+            raise ModelError(
+                f"processor type {self.name!r} needs capacity > 0, "
+                f"got {self.capacity}"
+            )
+        lo, hi = self.availability.support()
+        if lo <= 0.0 or hi > 1.0 + 1e-12:
+            raise ModelError(
+                f"processor type {self.name!r}: availability support must be "
+                f"within (0, 1], got [{lo}, {hi}]"
+            )
+
+    @property
+    def expected_availability(self) -> float:
+        """``E[alpha_j]`` — the per-type expected availability (Table I)."""
+        return self.availability.mean()
+
+    @property
+    def expected_rate(self) -> float:
+        """Expected effective compute rate: ``capacity * E[alpha_j]``."""
+        return self.capacity * self.expected_availability
+
+    def with_availability(self, availability: PMF) -> "ProcessorType":
+        """Copy of this type with a different availability PMF.
+
+        Stage II studies swap the *runtime* availability case (Table I cases
+        2-4) into an otherwise unchanged system.
+        """
+        return ProcessorType(
+            name=self.name,
+            count=self.count,
+            availability=availability,
+            capacity=self.capacity,
+        )
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One concrete processor: an index within its :class:`ProcessorType`."""
+
+    ptype: ProcessorType
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.ptype.count:
+            raise ModelError(
+                f"processor index {self.index} out of range for type "
+                f"{self.ptype.name!r} with count {self.ptype.count}"
+            )
+
+    @property
+    def uid(self) -> str:
+        """Stable identifier, unique within a system."""
+        return f"{self.ptype.name}[{self.index}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Processor({self.uid})"

@@ -1,0 +1,160 @@
+"""Recording and summarizing availability traces.
+
+Utilities to capture a realized :class:`~repro.system.availability.
+AvailabilityProcess` into a concrete, replayable
+:class:`~repro.system.availability.TraceAvailability`, and to summarize
+traces for reports. Recording lets an experiment freeze one stochastic
+realization and re-run every DLS technique against *identical* perturbations
+— the paper's figures compare techniques under the same availability case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from .availability import AvailabilityModel, AvailabilityProcess, TraceAvailability
+
+__all__ = [
+    "record_trace",
+    "TraceSummary",
+    "summarize_trace",
+    "empirical_pmf_pairs",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_traces",
+    "load_traces",
+]
+
+
+def record_trace(
+    process: AvailabilityProcess,
+    horizon: float,
+    *,
+    resolution: float = 1.0,
+) -> TraceAvailability:
+    """Sample a realized process into a replayable trace up to ``horizon``.
+
+    The process is sampled every ``resolution`` time units and consecutive
+    equal levels are merged, so a piecewise-constant process whose segment
+    boundaries align with the resolution is captured exactly.
+    """
+    if horizon <= 0:
+        raise ModelError(f"horizon must be positive, got {horizon}")
+    if resolution <= 0:
+        raise ModelError(f"resolution must be positive, got {resolution}")
+    times = np.arange(0.0, horizon, resolution)
+    levels = [process.level_at(float(t)) for t in times]
+    segments: list[tuple[float, float]] = []
+    run_start = 0.0
+    current = levels[0]
+    for t, lvl in zip(times[1:], levels[1:]):
+        if lvl != current:
+            segments.append((float(t) - run_start, current))
+            run_start = float(t)
+            current = lvl
+    segments.append((horizon - run_start, current))
+    return TraceAvailability(tuple(segments))
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Scalar description of a trace: time-average level, extremes, churn."""
+
+    mean_level: float
+    min_level: float
+    max_level: float
+    n_segments: int
+    horizon: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "mean_level": self.mean_level,
+            "min_level": self.min_level,
+            "max_level": self.max_level,
+            "n_segments": self.n_segments,
+            "horizon": self.horizon,
+        }
+
+
+def summarize_trace(trace: TraceAvailability) -> TraceSummary:
+    """Compute :class:`TraceSummary` statistics of a recorded trace."""
+    durations = np.array([d for d, _ in trace.segments])
+    levels = np.array([lvl for _, lvl in trace.segments])
+    horizon = float(durations.sum())
+    return TraceSummary(
+        mean_level=float((durations * levels).sum() / horizon),
+        min_level=float(levels.min()),
+        max_level=float(levels.max()),
+        n_segments=len(trace.segments),
+        horizon=horizon,
+    )
+
+
+def trace_to_dict(trace: TraceAvailability) -> dict:
+    """JSON-ready representation of a trace."""
+    return {
+        "segments": [
+            {"duration": float(d), "level": float(lvl)}
+            for d, lvl in trace.segments
+        ]
+    }
+
+
+def trace_from_dict(payload: dict) -> TraceAvailability:
+    """Inverse of :func:`trace_to_dict`."""
+    try:
+        segments = tuple(
+            (float(seg["duration"]), float(seg["level"]))
+            for seg in payload["segments"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ModelError(f"malformed trace payload: {exc}") from exc
+    return TraceAvailability(segments)
+
+
+def save_traces(path, traces: dict[str, TraceAvailability]):
+    """Persist named traces as one JSON document; returns the path.
+
+    Lets an experiment freeze the availability realizations it ran under
+    and replay them later (or on another machine) bit-for-bit.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: trace_to_dict(trace) for name, trace in traces.items()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_traces(path) -> dict[str, TraceAvailability]:
+    """Inverse of :func:`save_traces`."""
+    import json
+    from pathlib import Path
+
+    payload = json.loads(Path(path).read_text())
+    return {name: trace_from_dict(doc) for name, doc in payload.items()}
+
+
+def empirical_pmf_pairs(
+    model: AvailabilityModel,
+    *,
+    horizon: float = 10_000.0,
+    resolution: float = 1.0,
+    rng=None,
+) -> list[tuple[float, float]]:
+    """Estimate ``(level, time-fraction)`` pairs of a model by simulation.
+
+    Useful for validating that a runtime availability model realizes the
+    PMF it was specified with (a property test in the suite).
+    """
+    process = model.spawn(rng)
+    times = np.arange(0.0, horizon, resolution)
+    levels = np.array([process.level_at(float(t)) for t in times])
+    values, counts = np.unique(levels, return_counts=True)
+    fractions = counts / counts.sum()
+    return [(float(v), float(f)) for v, f in zip(values, fractions)]

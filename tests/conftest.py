@@ -1,0 +1,101 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import Application, Batch, normal_exectime_model
+from repro.pmf import PMF, percent_availability
+from repro.system import (
+    ConstantAvailability,
+    HeterogeneousSystem,
+    ProcessorType,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_pmf() -> PMF:
+    """A small 3-pulse PMF used across unit tests."""
+    return PMF([1.0, 2.0, 4.0], [0.25, 0.25, 0.5])
+
+
+@pytest.fixture
+def type1_availability() -> PMF:
+    """Paper Table I, case 1, type 1."""
+    return percent_availability([(75, 50), (100, 50)])
+
+
+@pytest.fixture
+def type2_availability() -> PMF:
+    """Paper Table I, case 1, type 2."""
+    return percent_availability([(25, 25), (50, 25), (100, 50)])
+
+
+@pytest.fixture
+def paper_like_system(type1_availability, type2_availability) -> HeterogeneousSystem:
+    """The paper's 12-processor reference system."""
+    return HeterogeneousSystem(
+        [
+            ProcessorType("type1", 4, availability=type1_availability),
+            ProcessorType("type2", 8, availability=type2_availability),
+        ]
+    )
+
+
+@pytest.fixture
+def dedicated_system() -> HeterogeneousSystem:
+    """Two types, fully available — for deterministic simulator tests."""
+    return HeterogeneousSystem(
+        [
+            ProcessorType("fast", 4),
+            ProcessorType("slow", 8),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_like_batch() -> Batch:
+    """The paper's 3-application batch (Tables II-III)."""
+    return Batch(
+        [
+            Application(
+                "app1", 439, 1024,
+                normal_exectime_model({"type1": 1800.0, "type2": 4000.0}),
+            ),
+            Application(
+                "app2", 512, 2048,
+                normal_exectime_model({"type1": 2800.0, "type2": 6000.0}),
+            ),
+            Application(
+                "app3", 216, 4096,
+                normal_exectime_model({"type1": 12000.0, "type2": 8000.0}),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_app() -> Application:
+    """A deterministic little application for fast simulator tests.
+
+    100 parallel iterations of exactly 1 time unit each, 10 serial
+    iterations of 1 unit; no stochasticity (iteration_cv = 0).
+    """
+    return Application(
+        "tiny",
+        n_serial=10,
+        n_parallel=100,
+        exec_time=normal_exectime_model({"fast": 110.0, "slow": 110.0}, cv=0.0),
+        iteration_cv=0.0,
+    )
+
+
+@pytest.fixture
+def const_availability() -> ConstantAvailability:
+    return ConstantAvailability(1.0)

@@ -1,0 +1,142 @@
+"""Failure-injection tests: the simulator under extreme perturbations.
+
+The paper's perturbation model never drops availability to zero, but a
+robust substrate must stay consistent at the edges: near-dead processors,
+mid-run collapses, flapping at high frequency, and pathological chunk
+policies must all complete with exact iteration conservation and finite,
+correctly-ordered results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import ALL_TECHNIQUES, make_technique
+from repro.sim import LoopSimConfig, simulate_application
+from repro.system import (
+    ConstantAvailability,
+    HeterogeneousSystem,
+    ProcessorType,
+    TraceAvailability,
+)
+
+
+@pytest.fixture
+def system():
+    return HeterogeneousSystem([ProcessorType("t", 8)])
+
+
+@pytest.fixture
+def app():
+    return Application(
+        "fi", 16, 512,
+        normal_exectime_model({"t": 528.0}),
+        iteration_cv=0.1,
+    )
+
+
+CONFIG = LoopSimConfig(overhead=1.0)
+
+
+class TestNearDeadProcessors:
+    @pytest.mark.parametrize("technique", ["STATIC", "FAC", "AF", "AWF-C"])
+    def test_one_processor_at_a_thousandth(self, app, system, technique):
+        models = [ConstantAvailability(1.0)] * 7 + [ConstantAvailability(0.001)]
+        result = simulate_application(
+            app, system.group("t", 8), make_technique(technique),
+            seed=1, config=CONFIG, availability=models,
+        )
+        assert result.iterations_executed == app.n_parallel
+        assert np.isfinite(result.makespan)
+        # Adaptive techniques quarantine the dead processor after its pilot.
+        if technique in ("AF", "AWF-C"):
+            per_worker = result.iterations_per_worker()
+            assert per_worker[7] <= per_worker[0]
+
+    def test_adaptive_vs_static_separation(self, app, system):
+        models = [ConstantAvailability(1.0)] * 7 + [ConstantAvailability(0.001)]
+        static = simulate_application(
+            app, system.group("t", 8), make_technique("STATIC"),
+            seed=1, config=CONFIG, availability=models,
+        )
+        adaptive = simulate_application(
+            app, system.group("t", 8), make_technique("AF"),
+            seed=1, config=CONFIG, availability=models,
+        )
+        # STATIC commits 64 iterations to the dead processor; AF commits
+        # only its small pilot chunk before quarantining it. (FAC-family
+        # techniques sit in between: their batch-1 chunk is already
+        # committed before any measurement exists.)
+        assert static.makespan > 5 * adaptive.makespan
+
+
+class TestMidRunCollapse:
+    def test_all_processors_collapse(self, app, system):
+        """Everything drops to 1% at t=50: run completes, much later."""
+        collapse = TraceAvailability(((50.0, 1.0), (1e6, 0.01)))
+        healthy = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=2, config=CONFIG, availability=ConstantAvailability(1.0),
+        )
+        collapsed = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=2, config=CONFIG, availability=collapse,
+        )
+        assert collapsed.iterations_executed == app.n_parallel
+        assert collapsed.makespan > healthy.makespan
+
+    def test_recovery_mid_run(self, app, system):
+        """A dip that ends is strictly better than one that does not."""
+        dip_forever = TraceAvailability(((50.0, 1.0), (1e6, 0.05)))
+        dip_recovers = TraceAvailability(
+            ((50.0, 1.0), (100.0, 0.05), (1e6, 1.0))
+        )
+        forever = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=3, config=CONFIG, availability=dip_forever,
+        )
+        recovers = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=3, config=CONFIG, availability=dip_recovers,
+        )
+        assert recovers.makespan < forever.makespan
+
+
+class TestHighFrequencyFlapping:
+    def test_fast_flapping_approximates_mean(self, app, system):
+        """1-unit flapping between 100% and 20% ~ constant 60%."""
+        flap = TraceAvailability(
+            tuple((1.0, 1.0 if k % 2 == 0 else 0.2) for k in range(20000))
+        )
+        flapping = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=4, config=CONFIG, availability=flap,
+        )
+        smooth = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=4, config=CONFIG, availability=ConstantAvailability(0.6),
+        )
+        assert flapping.makespan == pytest.approx(smooth.makespan, rel=0.1)
+
+
+class TestEveryTechniqueSurvives:
+    @pytest.mark.parametrize("technique", sorted(ALL_TECHNIQUES))
+    def test_conservation_under_chaos(self, app, system, technique):
+        rng_levels = [0.001, 0.05, 0.2, 1.0]
+        models = [
+            TraceAvailability(
+                tuple(
+                    (37.0, rng_levels[(i + k) % len(rng_levels)])
+                    for k in range(3000)
+                )
+            )
+            for i in range(8)
+        ]
+        result = simulate_application(
+            app, system.group("t", 8), make_technique(technique),
+            seed=5, config=CONFIG, availability=models,
+        )
+        assert result.iterations_executed == app.n_parallel
+        assert result.makespan >= result.serial_time
+        for c in result.chunks:
+            assert c.finish_time >= c.start_time

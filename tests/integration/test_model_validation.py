@@ -1,0 +1,89 @@
+"""Cross-validation: the simulator realizes the analytic stage-I model.
+
+On single-processor, noise-free, one-availability-draw-per-run
+configurations the stage-I PMF arithmetic and the discrete-event simulator
+describe the same random variable; these tests verify the two halves of the
+library agree — the strongest internal consistency check available.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import Application, normal_exectime_model
+from repro.paper import paper_batch, paper_system
+from repro.pmf import PMF, deterministic, percent_availability
+from repro.validation import (
+    compare_sample_to_pmf,
+    ks_statistic,
+    ks_threshold,
+    validate_single_processor_model,
+)
+
+
+class TestKSMachinery:
+    def test_zero_distance_for_exact_sample(self):
+        pmf = PMF([1.0, 2.0], [0.5, 0.5])
+        samples = np.array([1.0] * 500 + [2.0] * 500)
+        assert ks_statistic(samples, pmf) <= 0.01
+
+    def test_detects_wrong_model(self):
+        pmf = PMF([1.0, 2.0], [0.5, 0.5])
+        samples = np.full(1000, 5.0)
+        assert ks_statistic(samples, pmf) == pytest.approx(1.0)
+
+    def test_threshold_shrinks_with_n(self):
+        assert ks_threshold(100) > ks_threshold(10_000)
+
+    def test_threshold_alpha_ordering(self):
+        assert ks_threshold(100, 0.05) < ks_threshold(100, 0.01)
+
+    def test_report_consistency_flag(self, rng):
+        pmf = PMF([1.0, 3.0], [0.5, 0.5])
+        good = pmf.sample(rng, size=2000)
+        report = compare_sample_to_pmf(good, pmf)
+        assert report.consistent
+        bad = rng.normal(10.0, 1.0, size=2000)
+        assert not compare_sample_to_pmf(bad, pmf).consistent
+
+
+class TestSingleProcessorConsistency:
+    """The simulator's makespans match the analytic dilation PMF."""
+
+    @pytest.mark.parametrize("app_name,type_name", [
+        ("app1", "type1"),
+        ("app2", "type1"),
+        ("app3", "type2"),
+    ])
+    def test_paper_apps(self, app_name, type_name):
+        batch = paper_batch()
+        system = paper_system("case1")
+        report = validate_single_processor_model(
+            batch.app(app_name),
+            type_name,
+            system.type(type_name).availability,
+            replications=300,
+            seed=3,
+        )
+        assert report.consistent, (app_name, report)
+        assert report.mean_error < 0.05
+
+    def test_degenerate_availability(self):
+        app = Application(
+            "d", 10, 90, normal_exectime_model({"t": 500.0}, cv=0.0)
+        )
+        report = validate_single_processor_model(
+            app, "t", deterministic(0.5), replications=50, seed=1
+        )
+        # Deterministic everything: exact match.
+        assert report.ks < 0.05
+        assert report.mean_error < 1e-6
+
+    def test_rich_availability_pmf(self):
+        app = Application(
+            "r", 0, 128, normal_exectime_model({"t": 1000.0}, cv=0.0)
+        )
+        avail = percent_availability([(20, 20), (40, 30), (80, 30), (100, 20)])
+        report = validate_single_processor_model(
+            app, "t", avail, replications=400, seed=7
+        )
+        assert report.consistent, report

@@ -1,0 +1,192 @@
+"""Integration regression: the paper's stage-II shapes (scenarios 1-4).
+
+Stage II is simulation-based; these tests assert the *qualitative* claims
+of §IV — which scenarios violate the deadline, which cases are tolerable,
+and the headline robustness tuple — with a reduced replication count to
+keep the suite fast. EXPERIMENTS.md records the full-replication values.
+"""
+
+import pytest
+
+from repro.framework import Scenario, run_scenario
+from repro.paper import data, figure_series, paper_cases, paper_cdsf
+
+REPS = 10  # reduced for test speed; benchmarks use the full count
+SEED = 2012
+
+
+@pytest.fixture(scope="module")
+def scenario4():
+    return run_scenario(
+        Scenario.ROBUST_IM_ROBUST_RAS,
+        paper_cdsf(replications=REPS, seed=SEED),
+        paper_cases(),
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario2():
+    return run_scenario(
+        Scenario.ROBUST_IM_NAIVE_RAS,
+        paper_cdsf(replications=REPS, seed=SEED),
+        paper_cases(),
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario1():
+    return run_scenario(
+        Scenario.NAIVE_IM_NAIVE_RAS,
+        paper_cdsf(replications=REPS, seed=SEED),
+        paper_cases(),
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario3():
+    return run_scenario(
+        Scenario.NAIVE_IM_ROBUST_RAS,
+        paper_cdsf(replications=REPS, seed=SEED),
+        paper_cases(),
+    )
+
+
+class TestScenario1:
+    """Naive IM + STATIC: phi_1 = 26%, deadline violated in every case."""
+
+    def test_phi1(self, scenario1):
+        assert scenario1.robustness.rho1 == pytest.approx(0.26, abs=0.005)
+
+    def test_deadline_violated_everywhere(self, scenario1):
+        study = scenario1.stage_ii
+        for case in study.case_ids:
+            assert study.violations(case, "STATIC"), case
+
+    def test_not_robust(self, scenario1):
+        assert scenario1.robustness.rho2 == 0.0
+
+
+class TestScenario2:
+    """Robust IM + STATIC: phi_1 = 74.5% but STATIC still violates."""
+
+    def test_phi1(self, scenario2):
+        assert scenario2.robustness.rho1 == pytest.approx(0.745, abs=0.005)
+
+    def test_static_violates_every_case(self, scenario2):
+        study = scenario2.stage_ii
+        for case in study.case_ids:
+            assert study.violations(case, "STATIC"), case
+
+    def test_static_degrades_with_availability(self, scenario2):
+        """App times grow as the weighted availability decreases."""
+        study = scenario2.stage_ii
+        for app in study.app_names:
+            t_ref = study.time("case1", "STATIC", app)
+            t_worst = study.time("case4", "STATIC", app)
+            assert t_worst > t_ref, app
+
+
+class TestScenario3:
+    """Naive IM + robust DLS: apps 1 and 3 still violate."""
+
+    def test_phi1(self, scenario3):
+        assert scenario3.robustness.rho1 == pytest.approx(0.26, abs=0.005)
+
+    def test_apps_1_and_3_violate(self, scenario3):
+        study = scenario3.stage_ii
+        # Application 3 overshoots with every technique in cases 2-4
+        # (paper: "applications 1 and 3 in cases 2-4"), so no degraded case
+        # is tolerable. App1's cells and case 1's app3 cell are marginal
+        # (within a few % of the deadline) and master-policy dependent, so
+        # they are not asserted — see EXPERIMENTS.md.
+        for case in ("case2", "case3", "case4"):
+            assert study.best_technique(case, "app3") is None, case
+            assert not study.case_tolerable(case)
+
+    def test_not_robust(self, scenario3):
+        # No degraded case is tolerable, so no positive availability
+        # decrease is tolerated.
+        assert scenario3.robustness.rho2 == 0.0
+
+
+class TestScenario4:
+    """Robust IM + robust DLS: the CDSF proper."""
+
+    def test_rho1(self, scenario4):
+        assert scenario4.robustness.rho1 == pytest.approx(
+            data.RHO[0] / 100.0, abs=0.005
+        )
+
+    def test_tolerability_vector(self, scenario4):
+        tolerable = scenario4.stage_ii.tolerable_cases()
+        assert tolerable == {
+            "case1": True,
+            "case2": True,
+            "case3": True,
+            "case4": False,
+        }
+
+    def test_rho2(self, scenario4):
+        # Paper: 30.77% (case 3). Exact Table I PMF arithmetic gives 30.89%
+        # (the paper's table carries a 0.1 rounding artifact, see DESIGN.md).
+        assert scenario4.robustness.rho2 == pytest.approx(
+            data.RHO[1], abs=0.5
+        )
+
+    def test_app2_unschedulable_in_case4(self, scenario4):
+        assert scenario4.stage_ii.best_technique("case4", "app2") is None
+
+    def test_af_best_for_app3_in_case4(self, scenario4):
+        """The paper's key discriminator: AF saves app 3 in case 4."""
+        assert scenario4.stage_ii.best_technique("case4", "app3") == "AF"
+
+    def test_app1_meets_case4(self, scenario4):
+        assert scenario4.stage_ii.best_technique("case4", "app1") is not None
+
+    def test_dls_beats_static(self, scenario2, scenario4):
+        """Robust RAS improves on STATIC case by case, app by app."""
+        s2, s4 = scenario2.stage_ii, scenario4.stage_ii
+        for case in s4.case_ids:
+            for app in s4.app_names:
+                static_time = s2.time(case, "STATIC", app)
+                best_dls = min(
+                    s4.time(case, tech, app) for tech in s4.technique_names
+                )
+                assert best_dls <= static_time * 1.05, (case, app)
+
+
+class TestScenarioDominance:
+    """The paper's central hypothesis: scenario 4 dominates 1-3."""
+
+    def test_phi1_ordering(self, scenario1, scenario2, scenario3, scenario4):
+        assert scenario4.robustness.rho1 > scenario1.robustness.rho1
+        assert scenario4.robustness.rho1 > scenario3.robustness.rho1
+
+    def test_rho2_only_scenario4_positive(
+        self, scenario1, scenario2, scenario3, scenario4
+    ):
+        assert scenario4.robustness.rho2 > 0.0
+        assert scenario1.robustness.rho2 == 0.0
+        assert scenario3.robustness.rho2 == 0.0
+
+
+class TestFigureSeries:
+    def test_figure_api(self):
+        series = figure_series("fig6", replications=3, seed=1)
+        assert series.figure == "fig6"
+        assert series.scenario == Scenario.ROBUST_IM_ROBUST_RAS
+        assert len(series.rows) == 4 * 3 * 4  # cases x apps x techniques
+        assert set(series.expected_times) == {"app1", "app2", "app3"}
+        times = series.times("case1", "FAC")
+        assert set(times) == {"app1", "app2", "app3"}
+
+    def test_figure_expected_times_match_table_v(self):
+        series = figure_series("fig4", replications=2, seed=1)
+        for app, expected in data.TABLE_V["robust"].items():
+            assert series.expected_times[app] == pytest.approx(
+                expected, rel=2e-3
+            )
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            figure_series("fig99")

@@ -1,0 +1,105 @@
+"""Property-based tests of availability processes (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmf import PMF
+from repro.system import (
+    ConstantAvailability,
+    MarkovAvailability,
+    ResampledAvailability,
+    TraceAvailability,
+    quota_levels,
+)
+
+
+@st.composite
+def availability_pmfs(draw):
+    n = draw(st.integers(1, 4))
+    values = draw(
+        st.lists(st.floats(0.05, 1.0), min_size=n, max_size=n, unique=True)
+    )
+    weights = draw(st.lists(st.floats(0.05, 1.0), min_size=n, max_size=n))
+    total = sum(weights)
+    return PMF(values, [w / total for w in weights], normalize=True)
+
+
+@st.composite
+def processes(draw):
+    kind = draw(st.sampled_from(["constant", "resampled", "trace", "markov"]))
+    seed = draw(st.integers(0, 2**31))
+    if kind == "constant":
+        return ConstantAvailability(draw(st.floats(0.05, 1.0))).spawn(seed)
+    if kind == "resampled":
+        pmf = draw(availability_pmfs())
+        interval = draw(st.floats(0.5, 50.0))
+        return ResampledAvailability(pmf, interval=interval).spawn(seed)
+    if kind == "trace":
+        n = draw(st.integers(1, 6))
+        segments = tuple(
+            (draw(st.floats(0.5, 20.0)), draw(st.floats(0.05, 1.0)))
+            for _ in range(n)
+        )
+        return TraceAvailability(segments).spawn(seed)
+    return MarkovAvailability(
+        levels=(1.0, draw(st.floats(0.05, 0.9))),
+        mean_sojourn=(draw(st.floats(1.0, 30.0)), draw(st.floats(1.0, 30.0))),
+        transition=((0.0, 1.0), (1.0, 0.0)),
+    ).spawn(seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(processes(), st.floats(0.0, 100.0), st.floats(0.0, 200.0))
+def test_finish_time_inverts_work_between(proc, start, work):
+    finish = proc.finish_time(start, work)
+    assert finish >= start
+    recovered = proc.work_between(start, finish)
+    assert abs(recovered - work) < 1e-6 * max(1.0, work)
+
+
+@settings(max_examples=60, deadline=None)
+@given(processes(), st.floats(0.0, 50.0), st.floats(0.1, 50.0), st.floats(0.1, 50.0))
+def test_work_is_additive_over_intervals(proc, t0, d1, d2):
+    a = proc.work_between(t0, t0 + d1)
+    b = proc.work_between(t0 + d1, t0 + d1 + d2)
+    total = proc.work_between(t0, t0 + d1 + d2)
+    assert abs((a + b) - total) < 1e-6 * max(1.0, total)
+
+
+@settings(max_examples=60, deadline=None)
+@given(processes(), st.floats(0.0, 50.0))
+def test_finish_time_monotone_in_work(proc, start):
+    finishes = [proc.finish_time(start, w) for w in (0.0, 1.0, 5.0, 20.0)]
+    assert all(a <= b + 1e-12 for a, b in zip(finishes, finishes[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(processes(), st.floats(0.0, 100.0))
+def test_levels_in_unit_interval(proc, t):
+    level = proc.level_at(t)
+    assert 0.0 < level <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(processes(), st.floats(0.0, 30.0), st.integers(1, 40))
+def test_vectorized_finish_times_match_scalar(proc, start, n):
+    works = np.cumsum(np.linspace(0.1, 2.0, n))
+    vec = proc.finish_times(start, works)
+    for k in (0, n // 2, n - 1):
+        scalar = proc.finish_time(start, float(works[k]))
+        assert abs(vec[k] - scalar) < 1e-6 * max(1.0, scalar)
+
+
+@settings(max_examples=60, deadline=None)
+@given(availability_pmfs(), st.integers(1, 32))
+def test_quota_levels_properties(pmf, n):
+    levels = quota_levels(pmf, n)
+    assert len(levels) == n
+    assert all(lvl in set(pmf.values.tolist()) for lvl in levels)
+    assert levels == sorted(levels)
+    # The quota mean converges to the PMF mean as n grows.
+    if n >= 16:
+        assert abs(float(np.mean(levels)) - pmf.mean()) <= 1.0 / n * max(
+            pmf.values
+        ) * len(pmf) + 0.25

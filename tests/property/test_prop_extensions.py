@@ -1,0 +1,139 @@
+"""Property-based tests of the extension modules (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import make_technique
+from repro.framework import MultiBatchScheduler
+from repro.ra import GreedyRobustAllocator
+from repro.sim import LoopSimConfig, simulate_timestepped
+from repro.system import (
+    ConstantAvailability,
+    HeterogeneousSystem,
+    ProcessorType,
+    SharedLoadModulator,
+)
+from repro.validation import compare_sample_to_pmf, ks_statistic
+from repro.pmf import PMF
+
+
+@st.composite
+def small_apps(draw):
+    n_serial = draw(st.integers(0, 20))
+    n_parallel = draw(st.integers(10, 300))
+    mean = draw(st.floats(50.0, 2000.0))
+    return Application(
+        f"p{n_serial}_{n_parallel}",
+        n_serial,
+        n_parallel,
+        normal_exectime_model({"t": mean}, cv=0.0),
+        iteration_cv=0.0,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    small_apps(),
+    st.sampled_from(["STATIC", "FAC", "AWF", "AWF-B", "AF"]),
+    st.integers(1, 5),
+    st.sampled_from([1, 2, 4]),
+)
+def test_timestepped_conservation(app, technique, n_steps, group_size):
+    system = HeterogeneousSystem([ProcessorType("t", 4)])
+    result = simulate_timestepped(
+        app,
+        system.group("t", group_size),
+        make_technique(technique),
+        n_timesteps=n_steps,
+        seed=1,
+        config=LoopSimConfig(overhead=0.0),
+    )
+    assert len(result.steps) == n_steps
+    for step in result.steps:
+        assert sum(c.size for c in step.chunks) == app.n_parallel
+    # Steps never overlap and time never flows backwards.
+    for prev, nxt in zip(result.steps, result.steps[1:]):
+        assert nxt.start_time >= prev.finish_time - 1e-9
+    assert result.makespan >= result.steps[0].duration - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=8),
+    st.integers(1, 4),
+)
+def test_multibatch_invariants(arrival_offsets, batch_size):
+    arrival_times = np.cumsum(np.asarray(arrival_offsets))
+    system = HeterogeneousSystem([ProcessorType("t", 4)])
+    arrivals = [
+        (
+            float(t),
+            Application(
+                f"a{i}", 0, 50,
+                normal_exectime_model({"t": 100.0}, cv=0.0),
+                iteration_cv=0.0,
+            ),
+        )
+        for i, t in enumerate(arrival_times)
+    ]
+    scheduler = MultiBatchScheduler(
+        system, GreedyRobustAllocator(), "FAC", deadline=10_000.0,
+        sim=LoopSimConfig(overhead=0.0), seed=2,
+    )
+    result = scheduler.run(arrivals, batch_size=batch_size)
+    # Batches do not overlap and respect arrival order.
+    for prev, nxt in zip(result.outcomes, result.outcomes[1:]):
+        assert nxt.start_time >= prev.finish_time - 1e-9
+    # Waiting and response times are non-negative and consistent.
+    for _, app in arrivals:
+        assert result.waiting_time(app.name) >= -1e-9
+        assert result.response_time(app.name) >= result.waiting_time(app.name)
+    # Every application lands in exactly one batch.
+    seen = [name for o in result.outcomes for name in o.batch.names]
+    assert sorted(seen) == sorted(app.name for _, app in arrivals)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 1.0), min_size=1, max_size=4, unique=True),
+    st.integers(0, 2**20),
+)
+def test_shared_modulator_levels_bounded(levels, seed):
+    mod = SharedLoadModulator(
+        levels=tuple(sorted(levels, reverse=True)),
+        mean_sojourn=tuple(100.0 for _ in levels),
+        rng=seed,
+        horizon=2_000.0,
+    )
+    for t in np.arange(0, 2_000, 97.0):
+        lvl = mod.level_at(float(t))
+        assert min(levels) - 1e-12 <= lvl <= max(levels) + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(1.0, 100.0), min_size=2, max_size=5, unique=True
+    ),
+    st.integers(0, 2**20),
+)
+def test_ks_self_consistency(values, seed):
+    """Large iid samples from a PMF pass the KS check against it."""
+    pmf = PMF(values, [1.0 / len(values)] * len(values), normalize=True)
+    rng = np.random.default_rng(seed)
+    samples = pmf.sample(rng, size=3000)
+    report = compare_sample_to_pmf(samples, pmf, alpha=0.001)
+    assert report.consistent, report
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(1.0, 100.0), min_size=1, max_size=5, unique=True),
+)
+def test_ks_bounds(values):
+    pmf = PMF(values, [1.0 / len(values)] * len(values), normalize=True)
+    samples = np.asarray(values)
+    d = ks_statistic(samples, pmf)
+    assert 0.0 <= d <= 1.0

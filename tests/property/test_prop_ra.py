@@ -1,0 +1,101 @@
+"""Property-based tests of stage-I allocation (hypothesis).
+
+On random small instances: every heuristic produces feasible allocations,
+and no heuristic beats the exhaustive optimum.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Application, Batch, normal_exectime_model
+from repro.pmf import PMF
+from repro.ra import (
+    EqualShareAllocator,
+    ExhaustiveAllocator,
+    GreedyRobustAllocator,
+    MaxMinAllocator,
+    MinMinAllocator,
+    StageIEvaluator,
+    SufferageAllocator,
+    enumerate_allocations,
+)
+from repro.system import HeterogeneousSystem, ProcessorType
+
+HEURISTICS = [
+    GreedyRobustAllocator,
+    MinMinAllocator,
+    MaxMinAllocator,
+    SufferageAllocator,
+]
+
+
+@st.composite
+def instances(draw):
+    n_types = draw(st.integers(1, 2))
+    types = []
+    for j in range(n_types):
+        count = draw(st.sampled_from([2, 4, 8]))
+        levels = draw(
+            st.lists(st.floats(0.2, 1.0), min_size=1, max_size=2, unique=True)
+        )
+        pmf = PMF(levels, [1.0 / len(levels)] * len(levels), normalize=True)
+        types.append(ProcessorType(f"t{j}", count, availability=pmf))
+    system = HeterogeneousSystem(types)
+    # Keep instances feasible: every application can get >= 1 processor.
+    n_apps = draw(st.integers(1, min(3, system.total_processors)))
+    apps = []
+    for i in range(n_apps):
+        means = {
+            t.name: draw(st.floats(500.0, 8000.0)) for t in system.types
+        }
+        apps.append(
+            Application(
+                f"a{i}",
+                draw(st.integers(0, 100)),
+                draw(st.integers(50, 2000)),
+                normal_exectime_model(means, cv=0.1),
+            )
+        )
+    deadline = draw(st.floats(500.0, 10_000.0))
+    return system, Batch(apps), deadline
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_exhaustive_is_optimal_upper_bound(instance):
+    system, batch, deadline = instance
+    evaluator = StageIEvaluator(batch, system, deadline)
+    best = ExhaustiveAllocator().allocate(evaluator)
+    for cls in HEURISTICS:
+        result = cls().allocate(evaluator)
+        assert result.robustness <= best.robustness + 1e-9, cls.name
+        # feasibility
+        for tname, used in result.allocation.usage().items():
+            assert used <= system.type(tname).count
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_heuristic_robustness_matches_evaluator(instance):
+    system, batch, deadline = instance
+    evaluator = StageIEvaluator(batch, system, deadline)
+    for cls in HEURISTICS:
+        result = cls().allocate(evaluator)
+        assert result.robustness == pytest.approx(
+            evaluator.robustness(result.allocation)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(instances())
+def test_enumeration_yields_unique_feasible(instance):
+    system, batch, _ = instance
+    seen = set()
+    for alloc in enumerate_allocations(batch, system):
+        assert alloc not in seen
+        seen.add(alloc)
+        for tname, used in alloc.usage().items():
+            assert used <= system.type(tname).count
+        for _, group in alloc.items():
+            assert group.size & (group.size - 1) == 0

@@ -1,0 +1,27 @@
+"""Guards that docs/api.md stays in sync with the public API."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_api_doc_up_to_date():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_doc
+    finally:
+        sys.path.pop(0)
+    expected = gen_api_doc.render()
+    actual = (ROOT / "docs" / "api.md").read_text()
+    assert actual == expected, (
+        "docs/api.md is stale; regenerate with `python tools/gen_api_doc.py`"
+    )
+
+
+def test_api_doc_mentions_key_symbols():
+    text = (ROOT / "docs" / "api.md").read_text()
+    for symbol in ("CDSF", "PMF", "AdaptiveFactoring", "simulate_application",
+                   "ExhaustiveAllocator", "robustness_radii"):
+        assert f"`{symbol}`" in text, symbol

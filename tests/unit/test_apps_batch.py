@@ -1,0 +1,83 @@
+"""Unit tests of batches and the arrival queue (repro.apps.batch)."""
+
+import pytest
+
+from repro.apps import Application, ApplicationQueue, Batch, normal_exectime_model
+from repro.errors import ModelError
+
+
+def make_app(name: str) -> Application:
+    return Application(name, 0, 10, normal_exectime_model({"t": 10.0}))
+
+
+class TestBatch:
+    def test_lookup(self, paper_like_batch):
+        assert paper_like_batch.app("app2").name == "app2"
+        assert paper_like_batch.app(0).name == "app1"
+        assert "app3" in paper_like_batch
+        assert "appX" not in paper_like_batch
+
+    def test_iteration(self, paper_like_batch):
+        assert [a.name for a in paper_like_batch] == ["app1", "app2", "app3"]
+        assert len(paper_like_batch) == 3
+        assert paper_like_batch.names == ("app1", "app2", "app3")
+
+    def test_total_iterations(self, paper_like_batch):
+        assert paper_like_batch.total_iterations() == 1463 + 2560 + 4312
+
+    def test_unknown_lookup(self, paper_like_batch):
+        with pytest.raises(ModelError):
+            paper_like_batch.app("ghost")
+        with pytest.raises(ModelError):
+            paper_like_batch.app(10)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ModelError):
+            Batch([make_app("x"), make_app("x")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Batch([])
+
+
+class TestApplicationQueue:
+    def test_fifo_batching(self):
+        q = ApplicationQueue()
+        for i, t in enumerate([0.0, 1.0, 2.0, 3.0]):
+            q.arrive(make_app(f"a{i}"), time=t)
+        assert len(q) == 4
+        batch = q.next_batch(2)
+        assert batch.names == ("a0", "a1")
+        assert len(q) == 2
+
+    def test_arrival_times(self):
+        q = ApplicationQueue()
+        q.arrive(make_app("a"), time=1.5)
+        q.arrive(make_app("b"), time=2.5)
+        assert q.arrival_times == (1.5, 2.5)
+
+    def test_drain(self):
+        q = ApplicationQueue()
+        q.arrive(make_app("a"))
+        q.arrive(make_app("b"), time=1.0)
+        batch = q.drain()
+        assert batch.names == ("a", "b")
+        assert len(q) == 0
+
+    def test_out_of_order_arrival_rejected(self):
+        q = ApplicationQueue()
+        q.arrive(make_app("a"), time=5.0)
+        with pytest.raises(ModelError):
+            q.arrive(make_app("b"), time=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            ApplicationQueue().arrive(make_app("a"), time=-1.0)
+
+    def test_oversized_batch_rejected(self):
+        q = ApplicationQueue()
+        q.arrive(make_app("a"))
+        with pytest.raises(ModelError):
+            q.next_batch(2)
+        with pytest.raises(ModelError):
+            q.next_batch(0)

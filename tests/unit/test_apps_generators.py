@@ -1,0 +1,111 @@
+"""Unit tests of synthetic workload generation (repro.apps.generators)."""
+
+import pytest
+
+from repro.apps import (
+    WorkloadSpec,
+    degraded_availability,
+    random_application,
+    random_availability_pmf,
+    random_batch,
+    random_instance,
+    random_system,
+)
+from repro.errors import ModelError
+from repro.pmf import percent_availability
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(n_apps=0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(procs_per_type=(0, 4))
+        with pytest.raises(ModelError):
+            WorkloadSpec(procs_per_type=(8, 4))
+        with pytest.raises(ModelError):
+            WorkloadSpec(mean_time_base=0.0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(serial_fraction_range=(0.5, 0.2))
+        with pytest.raises(ModelError):
+            WorkloadSpec(availability_levels=0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(min_availability=0.0)
+
+
+class TestRandomAvailability:
+    def test_valid_pmf(self, rng):
+        pmf = random_availability_pmf(rng, levels=4, min_level=0.3)
+        lo, hi = pmf.support()
+        assert lo >= 0.3
+        assert hi == 1.0
+
+    def test_reproducible(self):
+        a = random_availability_pmf(5)
+        b = random_availability_pmf(5)
+        assert a == b
+
+
+class TestRandomSystem:
+    def test_shape(self):
+        spec = WorkloadSpec(n_types=3, procs_per_type=(4, 16))
+        system = random_system(spec, 1)
+        assert len(system) == 3
+        for t in system.types:
+            assert 4 <= t.count <= 16
+            assert t.count & (t.count - 1) == 0  # power of two
+
+    def test_reproducible(self):
+        spec = WorkloadSpec()
+        assert random_system(spec, 2).counts() == random_system(spec, 2).counts()
+
+
+class TestRandomApplication:
+    def test_consistent_with_system(self):
+        spec = WorkloadSpec()
+        system = random_system(spec, 3)
+        app = random_application(spec, system, 3, name="x")
+        assert app.name == "x"
+        for t in system.types:
+            assert app.exec_time.supports(t.name)
+        s_lo, s_hi = spec.serial_fraction_range
+        assert s_lo <= app.serial_frac <= s_hi + 0.01
+
+    def test_batch_names_unique(self):
+        spec = WorkloadSpec(n_apps=6)
+        system = random_system(spec, 4)
+        batch = random_batch(spec, system, 4)
+        assert len(set(batch.names)) == 6
+
+
+class TestRandomInstance:
+    def test_matched_pair(self):
+        system, batch = random_instance(WorkloadSpec(n_apps=4), 7)
+        for app in batch:
+            for t in system.types:
+                assert app.exec_time.supports(t.name)
+
+    def test_reproducible(self):
+        s1, b1 = random_instance(WorkloadSpec(), 11)
+        s2, b2 = random_instance(WorkloadSpec(), 11)
+        assert s1.counts() == s2.counts()
+        assert b1.names == b2.names
+        assert b1.app(0).n_parallel == b2.app(0).n_parallel
+
+
+class TestDegradedAvailability:
+    def test_scales_levels(self, type2_availability):
+        degraded = degraded_availability(type2_availability, 0.5)
+        assert degraded.mean() == pytest.approx(type2_availability.mean() * 0.5)
+
+    def test_identity(self, type2_availability):
+        assert degraded_availability(type2_availability, 1.0) == type2_availability
+
+    def test_validation(self, type2_availability):
+        with pytest.raises(ModelError):
+            degraded_availability(type2_availability, 0.0)
+        with pytest.raises(ModelError):
+            degraded_availability(type2_availability, 1.5)

@@ -1,0 +1,102 @@
+"""Unit tests of the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["tables"],
+            ["figure", "fig3"],
+            ["scenario", "4"],
+            ["robustness"],
+            ["techniques"],
+            ["heuristics"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+    def test_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "5"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table IV" in out
+        assert "Table V" in out
+        assert "74.5" in out  # paper phi_1
+
+    def test_techniques(self, capsys):
+        assert main(["techniques"]) == 0
+        out = capsys.readouterr().out
+        for name in ("STATIC", "FAC", "WF", "AWF-B", "AF"):
+            assert name in out
+
+    def test_heuristics(self, capsys):
+        assert main(["heuristics"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive-optimal" in out
+        assert "genetic" in out
+
+    def test_figure_quick(self, capsys):
+        assert main(["figure", "fig4", "--replications", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "STATIC" in out
+
+    def test_scenario_quick(self, capsys):
+        assert main(["scenario", "1", "--replications", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 1" in out
+        assert "rho1" in out
+
+    def test_robustness_quick(self, capsys):
+        assert main(["robustness", "--replications", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VI" in out
+        assert "paper" in out
+
+
+class TestRecommendAndChart:
+    def test_recommend_paper(self, capsys):
+        assert main(["recommend"]) == 0
+        out = capsys.readouterr().out
+        assert "Stage I" in out and "Stage II" in out
+        assert "branch-and-bound" in out
+
+    def test_recommend_synthetic(self, capsys):
+        assert main(["recommend", "--synthetic", "15", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "generated instance" in out
+
+    def test_figure_chart(self, capsys):
+        assert main(
+            ["figure", "fig6", "--chart", "--replications", "2", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+        assert "Delta" in out
+
+    def test_export_instance(self, capsys, tmp_path):
+        target = tmp_path / "inst.json"
+        assert main(["export", str(target)]) == 0
+        from repro.io import load_instance
+
+        system, batch, deadline = load_instance(target)
+        assert deadline == 3250.0
+        assert batch.names == ("app1", "app2", "app3")

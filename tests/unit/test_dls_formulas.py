@@ -1,0 +1,234 @@
+"""Numerical verification of the DLS chunk formulas against the literature.
+
+These tests pin the exact chunk sequences / counts the published formulas
+imply, so a refactor cannot silently change scheduling behavior.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dls import (
+    AdaptiveFactoring,
+    Factoring,
+    Guided,
+    Trapezoid,
+    WorkerState,
+    make_technique,
+)
+
+
+def make_workers(n):
+    return [WorkerState(worker_id=i) for i in range(n)]
+
+
+def drain_single(session, feed=None):
+    sizes = []
+    while True:
+        size = session.next_chunk(0)
+        if size == 0:
+            return sizes
+        if feed is not None:
+            session.record(0, size, feed(size))
+        sizes.append(size)
+
+
+class TestGSSSequence:
+    def test_exact_sequence(self):
+        # N=100, P=4: ceil(100/4)=25, ceil(75/4)=19, ceil(56/4)=14, ...
+        session = Guided().session(100, make_workers(4))
+        expected = []
+        remaining = 100
+        while remaining > 0:
+            chunk = math.ceil(remaining / 4)
+            expected.append(chunk)
+            remaining -= chunk
+        assert drain_single(session) == expected
+
+    def test_chunk_count_logarithmic(self):
+        for n, p in [(1000, 4), (10_000, 8), (100_000, 16)]:
+            session = Guided().session(n, make_workers(p))
+            count = len(drain_single(session))
+            # GSS dispatches ~ p * ln(n/p) chunks.
+            bound = p * math.log(n / p) + p + 1
+            assert count <= 1.5 * bound, (n, p, count)
+
+
+class TestFACStructure:
+    def test_batch_sizes_halve(self):
+        # N=1024, P=4: batches of 4 chunks sized 128, 64, 32, ...
+        session = Factoring().session(1024, make_workers(4))
+        sizes = drain_single(session)
+        batches = [sizes[i : i + 4] for i in range(0, len(sizes), 4)]
+        for batch in batches[:-1]:
+            assert len(set(batch)) == 1  # equal chunks within a batch
+        firsts = [b[0] for b in batches]
+        for a, b in zip(firsts, firsts[1:-1]):
+            assert b == pytest.approx(a / 2, abs=1)
+
+    def test_chunk_count(self):
+        # FAC2 dispatches ~ P * log2(N/P) chunks.
+        for n, p in [(1024, 4), (4096, 8)]:
+            session = Factoring().session(n, make_workers(p))
+            count = len(drain_single(session))
+            bound = p * math.log2(n / p) + p
+            assert count <= bound + p, (n, p, count)
+
+
+class TestTSSSum:
+    def test_chunks_sum_and_decrease(self):
+        n, p = 5000, 8
+        session = Trapezoid().session(n, make_workers(p))
+        sizes = drain_single(session)
+        assert sum(sizes) == n
+        first = math.ceil(n / (2 * p))
+        assert sizes[0] == first
+        # Monotone non-increasing until the trailing clamp.
+        body = sizes[:-1]
+        assert all(a >= b for a, b in zip(body, body[1:]))
+
+
+class TestAFFormula:
+    def test_chunk_matches_closed_form(self):
+        """Drive AF to a state with known (mu, sigma) and check K_i."""
+        tech = AdaptiveFactoring(pilot_factor=8.0)
+        workers = make_workers(2)
+        session = tech.session(4096, workers)
+        # Feed exact measurements: worker 0 mu=1, sigma^2=0.25;
+        # worker 1 mu=4, sigma^2=1.0.
+        c0 = session.next_chunk(0)
+        c1 = session.next_chunk(1)
+        t0 = np.tile([0.5, 1.5], c0 // 2 + 1)[:c0]
+        t0 = t0 * (1.0 / t0.mean())
+        session.record(0, c0, t0)
+        t1 = np.tile([3.0, 5.0], c1 // 2 + 1)[:c1]
+        t1 = t1 * (4.0 / t1.mean())
+        session.record(1, c1, t1)
+        w0, w1 = session.workers[0], session.workers[1]
+        mu0, var0 = w0.mean_iter_time, w0.var_iter_time
+        mu1, var1 = w1.mean_iter_time, w1.var_iter_time
+        r = session.remaining
+        d = var0 / mu0 + var1 / mu1
+        t = r / (1.0 / mu0 + 1.0 / mu1)
+        expected0 = math.floor(
+            (d + 2.0 * t - math.sqrt(d * d + 4.0 * d * t)) / (2.0 * mu0)
+        )
+        assert session.next_chunk(0) == max(1, min(expected0, r))
+
+    def test_af_shares_proportional_to_speed(self):
+        """With negligible variance, K_i ~ 1/mu_i at equal remaining R.
+
+        (Chunks must be requested from identical session states: a dispatch
+        shrinks R, so two sequential requests see different formulas.)
+        """
+        tech = AdaptiveFactoring(pilot_factor=8.0)
+
+        def chunk_for(worker: int) -> int:
+            session = tech.session(100_000, make_workers(2))
+            c0 = session.next_chunk(0)
+            c1 = session.next_chunk(1)
+            session.record(
+                0, c0,
+                np.full(c0, 1.0) + np.tile([-0.01, 0.01], c0 // 2 + 1)[:c0],
+            )
+            session.record(
+                1, c1,
+                np.full(c1, 2.0) + np.tile([-0.02, 0.02], c1 // 2 + 1)[:c1],
+            )
+            return session.next_chunk(worker)
+
+        assert chunk_for(0) / chunk_for(1) == pytest.approx(2.0, rel=0.05)
+
+
+class TestSSAndStaticCounts:
+    def test_ss_chunk_count_equals_n(self):
+        session = make_technique("SS").session(500, make_workers(4))
+        total_chunks = 0
+        w = 0
+        while True:
+            size = session.next_chunk(w % 4)
+            if size == 0:
+                break
+            total_chunks += 1
+            w += 1
+        assert total_chunks == 500
+
+    def test_static_chunk_count_equals_p(self):
+        session = make_technique("STATIC").session(500, make_workers(8))
+        count = sum(1 for w in range(8) if session.next_chunk(w) > 0)
+        assert count == 8
+
+
+class TestModifiedFSC:
+    def test_chunk_count_tracks_factoring(self):
+        from repro.dls import Factoring, ModifiedFSC
+
+        for n, p in [(1024, 4), (4096, 8), (1000, 3)]:
+            mfsc = ModifiedFSC().session(n, make_workers(p))
+            fac = Factoring().session(n, make_workers(p))
+            c_mfsc = len(drain_single(mfsc))
+            c_fac = len(drain_single(fac))
+            # Same order of magnitude by construction (within 2x).
+            assert c_mfsc <= 2 * c_fac + p, (n, p, c_mfsc, c_fac)
+
+    def test_constant_sizes(self):
+        from repro.dls import ModifiedFSC
+
+        session = ModifiedFSC().session(4096, make_workers(8))
+        sizes = drain_single(session)
+        assert len(set(sizes[:-1])) == 1  # constant except the trailing clamp
+        assert sum(sizes) == 4096
+
+
+class TestTrapezoidFactoring:
+    def test_equal_chunks_within_batch(self):
+        from repro.dls import TrapezoidFactoring, WorkerState
+
+        p = 4
+        session = TrapezoidFactoring().session(2000, make_workers(p))
+        sizes = []
+        while True:
+            s = session.next_chunk(len(sizes) % p)
+            if s == 0:
+                break
+            sizes.append(s)
+        assert sum(sizes) == 2000
+        batches = [sizes[i : i + p] for i in range(0, len(sizes) - p, p)]
+        for batch in batches[:-1]:
+            assert len(set(batch)) == 1, batch
+
+    def test_batch_sizes_decrease_linearly(self):
+        from repro.dls import TrapezoidFactoring
+
+        p = 4
+        session = TrapezoidFactoring().session(8000, make_workers(p))
+        sizes = []
+        while True:
+            s = session.next_chunk(len(sizes) % p)
+            if s == 0:
+                break
+            sizes.append(s)
+        firsts = [sizes[i] for i in range(0, len(sizes) - p, p)]
+        deltas = [a - b for a, b in zip(firsts, firsts[1:-1])]
+        assert all(d >= 0 for d in deltas)
+        # Linear (constant decrement) until the floor clamp.
+        positive = [d for d in deltas if d > 0]
+        if len(positive) >= 3:
+            assert max(positive) - min(positive) <= 2
+
+    def test_first_chunk_matches_tss(self):
+        from repro.dls import Trapezoid, TrapezoidFactoring
+
+        tss = Trapezoid().session(5000, make_workers(8))
+        tfss = TrapezoidFactoring().session(5000, make_workers(8))
+        assert tfss.next_chunk(0) == tss.next_chunk(0)
+
+    def test_validation(self):
+        from repro.dls import TrapezoidFactoring
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            TrapezoidFactoring(first=0)
+        with pytest.raises(SchedulingError):
+            TrapezoidFactoring(last=0)

@@ -1,0 +1,76 @@
+"""Unit tests of operational technique selection (repro.framework.autotune)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.framework import StudyConfig, select_techniques
+from repro.ra import ExhaustiveAllocator, StageIEvaluator
+from repro.sim import LoopSimConfig, simulate_batch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.paper import data, paper_batch, paper_system
+
+    batch = paper_batch()
+    system = paper_system("case1")
+    evaluator = StageIEvaluator(batch, system, data.DEADLINE)
+    allocation = ExhaustiveAllocator().allocate(evaluator).allocation
+    config = StudyConfig(
+        deadline=data.DEADLINE,
+        replications=10,
+        seed=5,
+        sim=LoopSimConfig(overhead=1.0, availability_interval=2000.0),
+    )
+    return batch, system, allocation, config
+
+
+class TestSelectTechniques:
+    def test_every_app_assigned(self, setup):
+        batch, system, allocation, config = setup
+        sel = select_techniques(batch, allocation, system, config)
+        assert set(sel.assignment) == set(batch.names)
+        for tech in sel.assignment.values():
+            assert tech.name in ("FAC", "WF", "AWF-B", "AF")
+
+    def test_deadline_flags_on_reference(self, setup):
+        batch, system, allocation, config = setup
+        sel = select_techniques(batch, allocation, system, config)
+        # Reference availability: everything meets the deadline.
+        assert all(sel.deadline_met.values())
+
+    def test_assignment_runs_end_to_end(self, setup):
+        batch, system, allocation, config = setup
+        sel = select_techniques(batch, allocation, system, config)
+        run = simulate_batch(
+            batch, allocation, sel.assignment,
+            deadline=config.deadline, seed=9, config=config.sim,
+        )
+        assert run.meets_deadline()
+
+    def test_fallback_when_nothing_meets(self, setup):
+        batch, system, allocation, config = setup
+        tight = StudyConfig(
+            deadline=10.0, replications=2, seed=5, sim=config.sim
+        )
+        sel = select_techniques(batch, allocation, system, tight,
+                                pilot_replications=2)
+        assert not any(sel.deadline_met.values())
+        assert set(sel.assignment) == set(batch.names)  # still assigned
+
+    def test_custom_candidates(self, setup):
+        batch, system, allocation, config = setup
+        sel = select_techniques(
+            batch, allocation, system, config, candidates=["FAC"],
+            pilot_replications=2,
+        )
+        assert all(t.name == "FAC" for t in sel.assignment.values())
+
+    def test_validation(self, setup):
+        batch, system, allocation, config = setup
+        with pytest.raises(ModelError):
+            select_techniques(batch, allocation, system, config,
+                              pilot_replications=0)
+        with pytest.raises(ModelError):
+            select_techniques(batch, allocation, system, config,
+                              candidates=[])

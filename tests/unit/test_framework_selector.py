@@ -1,0 +1,155 @@
+"""Unit tests of the stage-policy advisor (repro.framework.selector)."""
+
+import pytest
+
+from repro.apps import Application, Batch, normal_exectime_model, random_instance, WorkloadSpec
+from repro.dls import ALL_TECHNIQUES
+from repro.errors import ModelError
+from repro.framework import InstanceFeatures, extract_features, recommend
+from repro.pmf import percent_availability
+from repro.ra import HEURISTICS
+from repro.system import HeterogeneousSystem, ProcessorType
+
+
+def features(**overrides) -> InstanceFeatures:
+    base = dict(
+        n_apps=3,
+        n_types=2,
+        total_processors=12,
+        allocation_space_bound=343.0,
+        mean_availability=0.75,
+        availability_cv=0.3,
+        iteration_cv=0.1,
+        overhead_ratio=0.1,
+        timestepped=False,
+        heterogeneous_groups=False,
+    )
+    base.update(overrides)
+    return InstanceFeatures(**base)
+
+
+class TestExtractFeatures:
+    def test_paper_instance(self):
+        from repro.paper import paper_batch, paper_system
+
+        f = extract_features(paper_batch(), paper_system("case1"), overhead=1.0)
+        assert f.n_apps == 3
+        assert f.n_types == 2
+        assert f.total_processors == 12
+        assert f.allocation_space_bound == 343.0  # 7^3 candidate bound
+        assert f.mean_availability == pytest.approx(0.75)
+        assert f.availability_cv > 0.2
+        assert not f.heterogeneous_groups
+
+    def test_quiet_system(self):
+        system = HeterogeneousSystem([ProcessorType("t", 4)])
+        batch = Batch(
+            [Application("a", 0, 100, normal_exectime_model({"t": 100.0}), iteration_cv=0.0)]
+        )
+        f = extract_features(batch, system)
+        assert f.availability_cv == 0.0
+        assert f.iteration_cv == 0.0
+        assert f.overhead_ratio == 0.0
+
+    def test_heterogeneous_capacity_detected(self):
+        system = HeterogeneousSystem(
+            [ProcessorType("a", 2, capacity=1.0), ProcessorType("b", 2, capacity=2.0)]
+        )
+        batch = Batch(
+            [Application("x", 0, 100, normal_exectime_model({"a": 100.0, "b": 50.0}))]
+        )
+        assert extract_features(batch, system).heterogeneous_groups
+
+
+class TestRecommendStage1:
+    def test_small_space_exact(self):
+        r = recommend(features(allocation_space_bound=1000))
+        assert r.stage1 == "branch-and-bound"
+
+    def test_moderate_batch_annealing(self):
+        r = recommend(features(allocation_space_bound=1e8, n_apps=8))
+        assert r.stage1 == "simulated-annealing"
+
+    def test_large_batch_greedy(self):
+        r = recommend(features(allocation_space_bound=1e20, n_apps=50))
+        assert r.stage1 == "greedy-robust"
+
+    def test_names_resolve_in_registry(self):
+        for f in (
+            features(),
+            features(allocation_space_bound=1e8, n_apps=8),
+            features(allocation_space_bound=1e20, n_apps=40),
+        ):
+            assert recommend(f).stage1 in HEURISTICS
+
+
+class TestRecommendStage2:
+    def test_high_variance_af(self):
+        assert recommend(features(availability_cv=0.4)).stage2 == "AF"
+
+    def test_quiet_deterministic_static(self):
+        r = recommend(
+            features(availability_cv=0.0, iteration_cv=0.0, overhead_ratio=1.0)
+        )
+        assert r.stage2 == "STATIC"
+
+    def test_quiet_deterministic_cheap_dispatch_fsc(self):
+        r = recommend(
+            features(availability_cv=0.0, iteration_cv=0.0, overhead_ratio=0.01)
+        )
+        assert r.stage2 == "FSC"
+
+    def test_quiet_heterogeneous_wf(self):
+        r = recommend(
+            features(
+                availability_cv=0.01,
+                iteration_cv=0.2,
+                heterogeneous_groups=True,
+            )
+        )
+        assert r.stage2 == "WF"
+
+    def test_timestepped_awf(self):
+        assert recommend(features(timestepped=True)).stage2 == "AWF"
+
+    def test_moderate_variance_fac(self):
+        r = recommend(features(availability_cv=0.15, iteration_cv=0.2))
+        assert r.stage2 == "FAC"
+
+    def test_names_resolve_in_registry(self):
+        for f in (
+            features(),
+            features(timestepped=True),
+            features(availability_cv=0.0, iteration_cv=0.0),
+        ):
+            assert recommend(f).stage2 in ALL_TECHNIQUES
+
+    def test_rationale_nonempty(self):
+        r = recommend(features())
+        assert len(r.rationale) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            recommend(features(n_apps=0))
+
+
+class TestEndToEnd:
+    def test_recommendation_runs(self):
+        """The recommended policies actually execute on the instance."""
+        from repro.dls import make_technique
+        from repro.ra import HEURISTICS as RA, StageIEvaluator
+        from repro.sim import LoopSimConfig, simulate_batch
+
+        system, batch = random_instance(WorkloadSpec(n_apps=3, n_types=2), 5)
+        f = extract_features(batch, system, overhead=1.0)
+        rec = recommend(f)
+        evaluator = StageIEvaluator(batch, system, 1e6)
+        result = RA[rec.stage1]().allocate(evaluator)
+        run = simulate_batch(
+            batch,
+            result.allocation,
+            make_technique(rec.stage2),
+            seed=1,
+            config=LoopSimConfig(overhead=1.0),
+        )
+        assert run.makespan > 0

@@ -1,0 +1,127 @@
+"""Unit tests of the analytic stage-I sensitivity module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.framework import (
+    analytic_tolerance,
+    deadline_curve,
+    degradation_curve,
+    min_deadline_for,
+)
+from repro.ra import ExhaustiveAllocator, StageIEvaluator
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    # module-scoped paper instance (fixtures from conftest are function
+    # scoped, so construct directly here)
+    from repro.paper import data, paper_batch, paper_system
+
+    batch = paper_batch()
+    system = paper_system("case1")
+    evaluator = StageIEvaluator(batch, system, data.DEADLINE)
+    allocation = ExhaustiveAllocator().allocate(evaluator).allocation
+    return batch, system, evaluator, allocation
+
+
+class TestMakespanPMF:
+    def test_phi1_consistency(self, setup):
+        _, _, evaluator, allocation = setup
+        pmf = evaluator.makespan_pmf(allocation)
+        assert pmf.prob_leq(3250.0) == pytest.approx(
+            evaluator.robustness(allocation), abs=1e-9
+        )
+
+    def test_makespan_dominates_each_app(self, setup):
+        _, _, evaluator, allocation = setup
+        makespan = evaluator.makespan_pmf(allocation)
+        for app_name, group in allocation.items():
+            app_pmf = evaluator.app_completion_pmf(app_name, group)
+            assert makespan.mean() >= app_pmf.mean() - 1e-9
+
+
+class TestDeadlineCurve:
+    def test_monotone_nondecreasing(self, setup):
+        _, _, evaluator, allocation = setup
+        curve = deadline_curve(
+            evaluator, allocation, np.linspace(1000, 12000, 20)
+        )
+        probs = [p for _, p in curve]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+        assert probs[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_paper_point_on_curve(self, setup):
+        _, _, evaluator, allocation = setup
+        ((_, p),) = deadline_curve(evaluator, allocation, [3250.0])
+        assert p == pytest.approx(0.745, abs=0.005)
+
+
+class TestMinDeadline:
+    def test_inverse_of_curve(self, setup):
+        _, _, evaluator, allocation = setup
+        d = min_deadline_for(evaluator, allocation, 0.745)
+        assert evaluator.makespan_pmf(allocation).prob_leq(d) >= 0.745 - 1e-9
+        # slightly below d the probability must drop below target
+        assert evaluator.makespan_pmf(allocation).prob_leq(d * 0.8) < 0.745
+
+    def test_validation(self, setup):
+        _, _, evaluator, allocation = setup
+        with pytest.raises(ValueError):
+            min_deadline_for(evaluator, allocation, 0.0)
+        with pytest.raises(ValueError):
+            min_deadline_for(evaluator, allocation, 1.5)
+
+
+class TestDegradationCurve:
+    def test_monotone_decreasing_in_degradation(self, setup):
+        batch, system, _, allocation = setup
+        curve = degradation_curve(
+            batch, system, allocation, 3250.0, [1.0, 0.9, 0.8, 0.7, 0.6]
+        )
+        probs = [p for _, p in curve]
+        assert all(a >= b - 1e-9 for a, b in zip(probs, probs[1:]))
+        assert curve[0][0] == 0.0
+        assert curve[0][1] == pytest.approx(0.745, abs=0.005)
+
+    def test_invalid_factor(self, setup):
+        batch, system, _, allocation = setup
+        with pytest.raises(ModelError):
+            degradation_curve(batch, system, allocation, 3250.0, [1.5])
+
+
+class TestAnalyticTolerance:
+    def test_bracketing(self, setup):
+        batch, system, _, allocation = setup
+        tol = analytic_tolerance(
+            batch, system, allocation, 3250.0, target=0.5
+        )
+        assert 0.0 < tol < 95.0
+        # Verify the bisection result: phi1 at the boundary >= target,
+        # a little deeper < target.
+        curve = degradation_curve(
+            batch, system, allocation, 3250.0,
+            [1.0 - tol / 100.0, 1.0 - (tol + 2.0) / 100.0],
+        )
+        assert curve[0][1] >= 0.5 - 1e-6
+        assert curve[1][1] < 0.5
+
+    def test_unreachable_target(self, setup):
+        batch, system, _, allocation = setup
+        assert (
+            analytic_tolerance(batch, system, allocation, 100.0, target=0.99)
+            == 0.0
+        )
+
+    def test_trivial_target(self, setup):
+        batch, system, _, allocation = setup
+        tol = analytic_tolerance(
+            batch, system, allocation, 1e9, target=0.01
+        )
+        assert tol == pytest.approx(95.0)
+
+    def test_validation(self, setup):
+        batch, system, _, allocation = setup
+        with pytest.raises(ModelError):
+            analytic_tolerance(batch, system, allocation, 3250.0, target=0.0)

@@ -1,0 +1,139 @@
+"""Unit tests of metrics and reporting utilities."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    cov_imbalance,
+    deadline_met,
+    idle_fraction,
+    max_mean_imbalance,
+    percent_degradation,
+    summary_statistic,
+    system_makespan,
+    violation_ratio,
+)
+from repro.reporting import (
+    render_table,
+    rows_to_dicts,
+    write_csv,
+    write_json,
+)
+
+
+class TestMakespanMetrics:
+    def test_system_makespan(self):
+        assert system_makespan([1.0, 5.0, 3.0]) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            system_makespan([])
+
+    def test_deadline(self):
+        assert deadline_met(100.0, 100.0)
+        assert not deadline_met(100.1, 100.0)
+
+    def test_violation_ratio(self):
+        assert violation_ratio(3900.0, 3250.0) == pytest.approx(0.2, rel=1e-3)
+        assert violation_ratio(3250.0, 3250.0) == 0.0
+        with pytest.raises(ValueError):
+            violation_ratio(1.0, 0.0)
+
+    def test_percent_degradation(self):
+        assert percent_degradation(150.0, 100.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            percent_degradation(1.0, 0.0)
+
+    def test_summary_statistics(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        assert summary_statistic(values, "mean") == pytest.approx(4.0)
+        assert summary_statistic(values, "median") == pytest.approx(2.5)
+        assert summary_statistic(values, "max") == 10.0
+        assert summary_statistic(values, "min") == 1.0
+        assert summary_statistic(values, "p90") == pytest.approx(
+            float(np.percentile(values, 90))
+        )
+
+    def test_summary_statistic_validation(self):
+        with pytest.raises(ValueError):
+            summary_statistic([], "mean")
+        with pytest.raises(ValueError):
+            summary_statistic([1.0], "mode")
+
+
+class TestImbalanceMetrics:
+    def test_balanced(self):
+        assert cov_imbalance([5.0, 5.0, 5.0]) == 0.0
+        assert max_mean_imbalance([5.0, 5.0]) == 1.0
+        assert idle_fraction([5.0, 5.0]) == 0.0
+
+    def test_imbalanced(self):
+        times = [1.0, 1.0, 4.0]
+        assert cov_imbalance(times) > 0.5
+        assert max_mean_imbalance(times) == pytest.approx(2.0)
+        assert idle_fraction(times) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        for fn in (cov_imbalance, max_mean_imbalance, idle_fraction):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_zero_times(self):
+        assert cov_imbalance([0.0, 0.0]) == 0.0
+        assert max_mean_imbalance([0.0]) == 1.0
+        assert idle_fraction([0.0, 0.0]) == 0.0
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(
+            ["name", "value"], [["a", 1.5], ["bb", 22.25]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "22.25" in out
+
+    def test_alignment(self):
+        out = render_table(["n"], [["1.0"], ["10.0"]])
+        rows = out.splitlines()[-3:-1]
+        # numeric column right-aligned: shorter number indented
+        assert rows[0].index("1.0") > rows[1].index("10.0")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_bool_formatting(self):
+        out = render_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "t.csv", ["a", "b"], [[1, "x"], [2, "y"]]
+        )
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,x"
+
+    def test_csv_row_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", ["a", "b"], [[1]])
+
+    def test_json_with_numpy(self, tmp_path):
+        path = write_json(
+            tmp_path / "t.json", {"x": np.float64(1.5), "y": [np.int64(2)]}
+        )
+        data = json.loads(path.read_text())
+        assert data == {"x": 1.5, "y": [2]}
+
+    def test_rows_to_dicts(self):
+        assert rows_to_dicts(["a", "b"], [[1, 2]]) == [{"a": 1, "b": 2}]
+
+    def test_nested_dirs_created(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "t.csv", ["a"], [[1]])
+        assert path.exists()

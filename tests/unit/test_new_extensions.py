@@ -1,0 +1,140 @@
+"""Unit tests for FAC-P, trace serialization, and the report builder."""
+
+import numpy as np
+import pytest
+
+from repro.dls import ProbabilisticFactoring, WorkerState, make_technique
+from repro.errors import ModelError, SchedulingError
+from repro.framework import (
+    Scenario,
+    format_full_report,
+    format_stage_i,
+    format_stage_ii,
+    run_scenario,
+)
+from repro.system import (
+    TraceAvailability,
+    load_traces,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def make_workers(n):
+    return [WorkerState(worker_id=i) for i in range(n)]
+
+
+class TestProbabilisticFactoring:
+    def test_registered(self):
+        assert make_technique("FAC-P").name == "FAC-P"
+
+    def test_drains_exactly(self):
+        session = ProbabilisticFactoring().session(777, make_workers(4))
+        total = 0
+        while True:
+            size = session.next_chunk(total % 4)
+            if size == 0:
+                break
+            session.record(total % 4, size, np.full(size, 1.0))
+            total += size
+        assert total == 777
+
+    def test_zero_variance_single_even_batch(self):
+        """cv = 0 -> the first batch covers everything, split evenly."""
+        session = ProbabilisticFactoring(prior_cv=0.0).session(
+            1000, make_workers(4)
+        )
+        first = session.next_chunk(0)
+        assert first == 250
+
+    def test_high_variance_shrinks_batches(self):
+        low = ProbabilisticFactoring(prior_cv=0.05).session(
+            4096, make_workers(8)
+        )
+        high = ProbabilisticFactoring(prior_cv=2.0).session(
+            4096, make_workers(8)
+        )
+        assert high.next_chunk(0) < low.next_chunk(0)
+
+    def test_adapts_ratio_from_measurements(self):
+        rng = np.random.default_rng(0)
+
+        def second_batch_chunk(spread: float) -> int:
+            session = ProbabilisticFactoring(prior_cv=0.05).session(
+                4096, make_workers(4)
+            )
+            sizes = [session.next_chunk(w) for w in range(4)]
+            for w, size in enumerate(sizes):
+                times = np.abs(rng.normal(1.0, spread, size)) + 1e-3
+                session.record(w, size, times)
+            return session.next_chunk(0)
+
+        # Noisier measured iteration times -> smaller second-batch chunks.
+        assert second_batch_chunk(1.5) < second_batch_chunk(0.01)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            ProbabilisticFactoring(prior_cv=-0.1)
+
+
+class TestTraceSerialization:
+    def test_roundtrip_dict(self):
+        trace = TraceAvailability(((10.0, 0.5), (5.0, 1.0)))
+        assert trace_from_dict(trace_to_dict(trace)) == trace
+
+    def test_malformed_payload(self):
+        with pytest.raises(ModelError):
+            trace_from_dict({"segments": [{"duration": 1.0}]})
+        with pytest.raises(ModelError):
+            trace_from_dict({})
+
+    def test_roundtrip_file(self, tmp_path):
+        traces = {
+            "p0": TraceAvailability(((10.0, 0.5),)),
+            "p1": TraceAvailability(((3.0, 1.0), (2.0, 0.25))),
+        }
+        path = save_traces(tmp_path / "traces.json", traces)
+        loaded = load_traces(path)
+        assert loaded == traces
+
+    def test_replay_after_roundtrip(self, tmp_path):
+        trace = TraceAvailability(((7.0, 0.4), (3.0, 0.9)))
+        path = save_traces(tmp_path / "t.json", {"x": trace})
+        replay = load_traces(path)["x"].spawn()
+        assert replay.level_at(5.0) == 0.4
+        assert replay.level_at(8.0) == 0.9
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.paper import paper_cases, paper_cdsf
+
+        return run_scenario(
+            Scenario.ROBUST_IM_ROBUST_RAS,
+            paper_cdsf(replications=2, seed=1),
+            {"case1": paper_cases()["case1"]},
+        )
+
+    def test_stage_i_contents(self, result):
+        text = format_stage_i(result)
+        assert "phi_1" in text
+        assert "app3" in text
+        assert "74." in text
+
+    def test_stage_ii_table(self, result):
+        text = format_stage_ii(result)
+        assert "Delta" in text
+        assert "FAC" in text
+
+    def test_stage_ii_chart(self, result):
+        text = format_stage_ii(result, chart=True)
+        assert "█" in text
+
+    def test_full_report(self, result):
+        text = format_full_report(result)
+        assert "Stage I" in text
+        assert "Stage II" in text
+        assert "Best deadline-meeting" in text
+        assert "rho1" in text

@@ -1,0 +1,115 @@
+"""Unit tests of the paper-instance builders (repro.paper)."""
+
+import pytest
+
+from repro.framework import Scenario
+from repro.paper import (
+    FIGURE_SCENARIOS,
+    data,
+    paper_batch,
+    paper_cases,
+    paper_cdsf,
+    paper_system,
+)
+
+
+class TestPaperSystem:
+    def test_reference_structure(self):
+        system = paper_system()
+        assert system.counts() == {"type1": 4, "type2": 8}
+        assert system.total_processors == 12
+
+    def test_all_cases_buildable(self):
+        for case in data.CASE_ORDER:
+            system = paper_system(case)
+            assert len(system) == 2
+
+    def test_unknown_case(self):
+        with pytest.raises(ValueError):
+            paper_system("case9")
+
+    def test_cases_dict_ordered(self):
+        assert tuple(paper_cases()) == data.CASE_ORDER
+
+    def test_case1_is_reference(self):
+        assert paper_system("case1").weighted_availability() == pytest.approx(
+            0.75
+        )
+
+
+class TestPaperBatch:
+    def test_three_apps(self):
+        batch = paper_batch()
+        assert batch.names == ("app1", "app2", "app3")
+
+    def test_iteration_counts(self):
+        batch = paper_batch()
+        assert batch.app("app1").n_serial == 439
+        assert batch.app("app2").n_parallel == 2048
+        assert batch.app("app3").n_parallel == 4096
+
+    def test_exec_means(self):
+        batch = paper_batch()
+        assert batch.app("app3").exec_time.mean("type1") == pytest.approx(
+            12_000.0, rel=1e-4
+        )
+
+    def test_independent_instances(self):
+        assert paper_batch() is not paper_batch()
+
+
+class TestPaperCDSF:
+    def test_defaults(self):
+        cdsf = paper_cdsf()
+        assert cdsf.deadline == data.DEADLINE
+        assert cdsf.system.counts() == {"type1": 4, "type2": 8}
+
+    def test_overrides(self):
+        cdsf = paper_cdsf(replications=3, statistic="median", seed=9)
+        assert cdsf._config.replications == 3
+        assert cdsf._config.statistic == "median"
+
+
+class TestFigureScenarioMap:
+    def test_complete(self):
+        assert FIGURE_SCENARIOS == {
+            "fig3": Scenario.NAIVE_IM_NAIVE_RAS,
+            "fig4": Scenario.ROBUST_IM_NAIVE_RAS,
+            "fig5": Scenario.NAIVE_IM_ROBUST_RAS,
+            "fig6": Scenario.ROBUST_IM_ROBUST_RAS,
+        }
+
+
+class TestDataConsistency:
+    """Internal consistency of the recorded paper constants."""
+
+    def test_case_probabilities_sum_to_100(self):
+        for case, per_type in data.AVAILABILITY_CASES.items():
+            for type_name, pairs in per_type.items():
+                assert sum(p for _, p in pairs) == pytest.approx(100.0), (
+                    case,
+                    type_name,
+                )
+
+    def test_iteration_fractions(self):
+        for name, spec in data.APPLICATIONS.items():
+            total = spec["serial"] + spec["parallel"]
+            assert 100.0 * spec["serial"] / total == pytest.approx(
+                spec["serial_pct"], abs=0.1
+            ), name
+
+    def test_table_iv_allocations_feasible(self):
+        for policy, per_app in data.TABLE_IV.items():
+            usage: dict[str, int] = {}
+            for app, (type_name, size) in per_app.items():
+                assert size & (size - 1) == 0, (policy, app)
+                usage[type_name] = usage.get(type_name, 0) + size
+            for type_name, used in usage.items():
+                assert used <= data.PROCESSOR_COUNTS[type_name], policy
+
+    def test_rho_consistent_with_tables(self):
+        assert data.RHO[0] == data.PHI1["robust"]
+        assert data.RHO[1] == data.AVAILABILITY_DECREASE["case3"]
+
+    def test_table_vi_case4_app2_unschedulable(self):
+        assert data.TABLE_VI["app2"]["case4"] is None

@@ -1,0 +1,159 @@
+"""Unit tests of the independent-RV algebra (repro.pmf.algebra)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PMFError
+from repro.pmf import (
+    PMF,
+    combine,
+    convolve,
+    convolve_many,
+    deterministic,
+    joint_prob_leq,
+    max_independent,
+    min_independent,
+    mixture,
+    scale,
+    shift,
+)
+
+
+@pytest.fixture
+def coin() -> PMF:
+    return PMF([0.0, 1.0], [0.5, 0.5])
+
+
+class TestConvolve:
+    def test_two_coins(self, coin):
+        total = convolve(coin, coin)
+        assert total.values.tolist() == [0.0, 1.0, 2.0]
+        assert np.allclose(total.probs, [0.25, 0.5, 0.25])
+
+    def test_mean_is_additive(self, simple_pmf, coin):
+        out = convolve(simple_pmf, coin)
+        assert out.mean() == pytest.approx(simple_pmf.mean() + coin.mean())
+
+    def test_variance_is_additive(self, simple_pmf, coin):
+        out = convolve(simple_pmf, coin)
+        assert out.var() == pytest.approx(simple_pmf.var() + coin.var())
+
+    def test_with_deterministic_is_shift(self, simple_pmf):
+        out = convolve(simple_pmf, deterministic(10.0))
+        assert out == shift(simple_pmf, 10.0)
+
+    def test_convolve_many(self, coin):
+        total = convolve_many([coin] * 4)
+        # Binomial(4, 1/2).
+        assert np.allclose(total.probs, [1, 4, 6, 4, 1] / np.array(16.0))
+
+    def test_convolve_many_empty(self):
+        with pytest.raises(PMFError):
+            convolve_many([])
+
+    def test_truncation_cap(self):
+        big = PMF(np.arange(200.0), np.full(200, 1 / 200))
+        out = convolve(big, big, max_points=100)
+        assert len(out) <= 100
+        assert out.mean() == pytest.approx(2 * big.mean(), rel=1e-9)
+
+
+class TestCombine:
+    def test_product(self, coin):
+        three = PMF([1.0, 3.0], [0.5, 0.5])
+        prod = combine(coin, three, lambda a, b: a * b)
+        assert prod.values.tolist() == [0.0, 1.0, 3.0]
+        assert np.allclose(prod.probs, [0.5, 0.25, 0.25])
+
+    def test_shape_check(self, coin):
+        with pytest.raises(PMFError):
+            combine(coin, coin, lambda a, b: (a + b).ravel())
+
+
+class TestAffine:
+    def test_scale(self, simple_pmf):
+        out = scale(simple_pmf, 3.0)
+        assert out.mean() == pytest.approx(3 * simple_pmf.mean())
+        assert out.std() == pytest.approx(3 * simple_pmf.std())
+
+    def test_scale_negative(self, simple_pmf):
+        out = scale(simple_pmf, -1.0)
+        assert out.mean() == pytest.approx(-simple_pmf.mean())
+
+    def test_scale_zero(self, simple_pmf):
+        out = scale(simple_pmf, 0.0)
+        assert len(out) == 1 and out.mean() == 0.0
+
+    def test_shift(self, simple_pmf):
+        out = shift(simple_pmf, -1.0)
+        assert out.mean() == pytest.approx(simple_pmf.mean() - 1.0)
+        assert out.var() == pytest.approx(simple_pmf.var())
+
+
+class TestExtremes:
+    def test_max_of_two_coins(self, coin):
+        out = max_independent([coin, coin])
+        assert np.allclose(out.probs, [0.25, 0.75])
+
+    def test_min_of_two_coins(self, coin):
+        out = min_independent([coin, coin])
+        assert np.allclose(out.probs, [0.75, 0.25])
+
+    def test_max_dominates_components(self, simple_pmf, coin):
+        out = max_independent([simple_pmf, coin])
+        # CDF of the max is below each component's CDF.
+        for x in [0.5, 1.0, 2.0, 4.0]:
+            assert out.cdf(x) <= simple_pmf.cdf(x) + 1e-12
+            assert out.cdf(x) <= coin.cdf(x) + 1e-12
+
+    def test_max_mean_at_least_components(self, simple_pmf, coin):
+        out = max_independent([simple_pmf, coin])
+        assert out.mean() >= max(simple_pmf.mean(), coin.mean()) - 1e-12
+
+    def test_single_pmf_is_identity(self, simple_pmf):
+        assert max_independent([simple_pmf]) == simple_pmf
+        assert min_independent([simple_pmf]) == simple_pmf
+
+    def test_empty_rejected(self):
+        with pytest.raises(PMFError):
+            max_independent([])
+
+
+class TestMixture:
+    def test_two_deterministics(self):
+        out = mixture([deterministic(1.0), deterministic(3.0)], [0.25, 0.75])
+        assert out.mean() == pytest.approx(2.5)
+
+    def test_weights_normalized(self):
+        out = mixture([deterministic(0.0), deterministic(1.0)], [1.0, 3.0])
+        assert out.mean() == pytest.approx(0.75)
+
+    def test_length_mismatch(self, simple_pmf):
+        with pytest.raises(PMFError):
+            mixture([simple_pmf], [0.5, 0.5])
+
+    def test_negative_weight(self, simple_pmf):
+        with pytest.raises(PMFError):
+            mixture([simple_pmf, simple_pmf], [-1.0, 2.0])
+
+    def test_zero_weights(self, simple_pmf):
+        with pytest.raises(PMFError):
+            mixture([simple_pmf], [0.0])
+
+    def test_empty(self):
+        with pytest.raises(PMFError):
+            mixture([], [])
+
+
+class TestJointProb:
+    def test_product_of_cdfs(self, simple_pmf, coin):
+        expected = simple_pmf.prob_leq(2.0) * coin.prob_leq(2.0)
+        assert joint_prob_leq([simple_pmf, coin], 2.0) == pytest.approx(expected)
+
+    def test_empty_is_one(self):
+        assert joint_prob_leq([], 5.0) == 1.0
+
+    def test_early_exit_on_zero(self, simple_pmf):
+        # A PMF fully above the deadline zeroes the product.
+        above = deterministic(100.0)
+        assert joint_prob_leq([above, simple_pmf], 5.0) == 0.0

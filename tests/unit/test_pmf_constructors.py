@@ -1,0 +1,144 @@
+"""Unit tests for PMF constructors (repro.pmf.constructors)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PMFError
+from repro.pmf import (
+    deterministic,
+    discretized_normal,
+    from_mapping,
+    from_pairs,
+    from_samples,
+    percent_availability,
+    sampled_normal,
+    uniform_support,
+)
+
+
+class TestSimpleConstructors:
+    def test_deterministic(self):
+        pmf = deterministic(42.0)
+        assert len(pmf) == 1
+        assert pmf.mean() == 42.0
+        assert pmf.var() == 0.0
+
+    def test_from_pairs(self):
+        pmf = from_pairs([(1.0, 0.3), (2.0, 0.7)])
+        assert pmf.mean() == pytest.approx(1.7)
+
+    def test_from_pairs_empty(self):
+        with pytest.raises(PMFError):
+            from_pairs([])
+
+    def test_from_mapping(self):
+        pmf = from_mapping({1.0: 0.5, 3.0: 0.5})
+        assert pmf.mean() == pytest.approx(2.0)
+
+    def test_uniform_support(self):
+        pmf = uniform_support([2.0, 4.0, 6.0])
+        assert np.allclose(pmf.probs, 1 / 3)
+
+    def test_uniform_support_empty(self):
+        with pytest.raises(PMFError):
+            uniform_support([])
+
+
+class TestFromSamples:
+    def test_exact_mode(self):
+        pmf = from_samples([1.0, 1.0, 2.0, 4.0])
+        assert pmf.values.tolist() == [1.0, 2.0, 4.0]
+        assert pmf.probs.tolist() == [0.5, 0.25, 0.25]
+
+    def test_binned_mode_preserves_mean(self, rng):
+        samples = rng.normal(100.0, 10.0, size=5000)
+        pmf = from_samples(samples, bins=40)
+        assert len(pmf) <= 40
+        assert pmf.mean() == pytest.approx(float(samples.mean()), rel=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PMFError):
+            from_samples([])
+
+
+class TestDiscretizedNormal:
+    def test_mean_and_std_recovered(self):
+        pmf = discretized_normal(1800.0, 180.0)
+        assert pmf.mean() == pytest.approx(1800.0, rel=1e-6)
+        assert pmf.std() == pytest.approx(180.0, rel=1e-3)
+
+    def test_mass_sums_to_one(self):
+        pmf = discretized_normal(100.0, 30.0, n_points=101)
+        assert float(pmf.probs.sum()) == pytest.approx(1.0)
+
+    def test_zero_std_degenerates(self):
+        pmf = discretized_normal(50.0, 0.0)
+        assert len(pmf) == 1
+
+    def test_clip_at_zero(self):
+        pmf = discretized_normal(1.0, 2.0, clip_at_zero=True)
+        assert pmf.support()[0] >= 0.0
+
+    def test_without_clip_allows_negative(self):
+        pmf = discretized_normal(0.0, 1.0, clip_at_zero=False)
+        assert pmf.support()[0] < 0.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(PMFError):
+            discretized_normal(10.0, -1.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(PMFError):
+            discretized_normal(10.0, 1.0, n_points=1)
+
+    def test_all_mass_below_zero_rejected(self):
+        with pytest.raises(PMFError):
+            discretized_normal(-100.0, 1.0, clip_at_zero=True)
+
+    def test_paper_cdf_value(self):
+        # Pr(N(8000, 800) parallel-time <= x) enters the phi_1 numbers;
+        # check a textbook value: Pr(X <= mu) = 0.5.
+        pmf = discretized_normal(8000.0, 800.0)
+        assert pmf.prob_leq(8000.0) == pytest.approx(0.5, abs=5e-3)
+
+
+class TestSampledNormal:
+    def test_reproducible_with_seed(self):
+        a = sampled_normal(100.0, 10.0, rng=7)
+        b = sampled_normal(100.0, 10.0, rng=7)
+        assert a == b
+
+    def test_mean_close(self):
+        pmf = sampled_normal(4000.0, 400.0, n_samples=20_000, rng=3)
+        assert pmf.mean() == pytest.approx(4000.0, rel=0.01)
+
+    def test_positive_support(self):
+        pmf = sampled_normal(5.0, 3.0, rng=11)
+        assert pmf.support()[0] > 0.0
+
+    def test_mostly_negative_normal_rejected(self):
+        with pytest.raises(PMFError):
+            sampled_normal(-50.0, 1.0, rng=1)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(PMFError):
+            sampled_normal(10.0, -1.0)
+
+
+class TestPercentAvailability:
+    def test_paper_type2_case1(self):
+        pmf = percent_availability([(25, 25), (50, 25), (100, 50)])
+        assert pmf.values.tolist() == [0.25, 0.5, 1.0]
+        assert pmf.mean() == pytest.approx(0.6875)
+
+    def test_zero_availability_rejected(self):
+        with pytest.raises(PMFError):
+            percent_availability([(0, 50), (100, 50)])
+
+    def test_above_hundred_rejected(self):
+        with pytest.raises(PMFError):
+            percent_availability([(120, 100)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PMFError):
+            percent_availability([])

@@ -1,0 +1,98 @@
+"""Unit + property tests of first-order stochastic dominance (repro.pmf)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmf import (
+    PMF,
+    amdahl_transform,
+    deterministic,
+    dilate_by_availability,
+    discretized_normal,
+    dominance_gap,
+    dominates_first_order,
+    percent_availability,
+    shift,
+)
+
+
+@st.composite
+def pmfs(draw):
+    n = draw(st.integers(1, 6))
+    values = draw(
+        st.lists(st.floats(0.0, 1e3), min_size=n, max_size=n, unique=True)
+    )
+    weights = draw(st.lists(st.floats(0.05, 1.0), min_size=n, max_size=n))
+    total = sum(weights)
+    return PMF(values, [w / total for w in weights], normalize=True)
+
+
+class TestBasics:
+    def test_reflexive(self, simple_pmf):
+        assert dominates_first_order(simple_pmf, simple_pmf)
+        assert dominance_gap(simple_pmf, simple_pmf) == 0.0
+
+    def test_shifted_is_dominated(self, simple_pmf):
+        later = shift(simple_pmf, 5.0)
+        assert dominates_first_order(simple_pmf, later)
+        assert not dominates_first_order(later, simple_pmf)
+
+    def test_deterministic_ordering(self):
+        assert dominates_first_order(deterministic(1.0), deterministic(2.0))
+        assert not dominates_first_order(deterministic(2.0), deterministic(1.0))
+
+    def test_incomparable_pair(self):
+        a = PMF([0.0, 10.0], [0.5, 0.5])
+        b = deterministic(5.0)
+        assert not dominates_first_order(a, b)
+        assert not dominates_first_order(b, a)
+        assert dominance_gap(a, b) > 0
+        assert dominance_gap(b, a) > 0
+
+
+class TestModelMonotonicity:
+    """The library's monotonicity facts, stated as dominance (not just means)."""
+
+    def test_more_processors_dominate(self):
+        pmf = discretized_normal(1000.0, 100.0)
+        t8 = amdahl_transform(pmf, 0.2, 8)
+        t2 = amdahl_transform(pmf, 0.2, 2)
+        assert dominates_first_order(t8, t2)
+
+    def test_higher_availability_dominates(self):
+        pmf = discretized_normal(1000.0, 100.0)
+        good = dilate_by_availability(pmf, percent_availability([(90, 100)]))
+        bad = dilate_by_availability(pmf, percent_availability([(50, 100)]))
+        assert dominates_first_order(good, bad)
+
+    def test_dilation_dominated_by_original(self):
+        pmf = discretized_normal(1000.0, 100.0)
+        avail = percent_availability([(25, 25), (50, 25), (100, 50)])
+        assert dominates_first_order(pmf, dilate_by_availability(pmf, avail))
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(pmfs(), pmfs())
+    def test_gap_zero_iff_dominates(self, a, b):
+        assert dominates_first_order(a, b) == (dominance_gap(a, b) <= 1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pmfs(), pmfs())
+    def test_antisymmetry_up_to_equality(self, a, b):
+        if dominates_first_order(a, b) and dominates_first_order(b, a):
+            assert a.allclose(b, rtol=1e-9, atol=1e-9) or (
+                dominance_gap(a, b) <= 1e-8 and dominance_gap(b, a) <= 1e-8
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(pmfs(), pmfs())
+    def test_dominance_implies_mean_order(self, a, b):
+        if dominates_first_order(a, b):
+            assert a.mean() <= b.mean() + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(pmfs(), st.floats(0.0, 100.0))
+    def test_shift_monotone(self, pmf, c):
+        assert dominates_first_order(pmf, shift(pmf, c))

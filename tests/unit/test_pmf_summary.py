@@ -1,0 +1,76 @@
+"""Unit tests of PMF summaries and distances (repro.pmf.summary)."""
+
+import numpy as np
+import pytest
+
+from repro.pmf import (
+    PMF,
+    deterministic,
+    distance_ks,
+    distance_tv,
+    entropy,
+    summarize,
+    uniform_support,
+)
+
+
+class TestSummarize:
+    def test_fields(self, simple_pmf):
+        s = summarize(simple_pmf)
+        assert s.mean == pytest.approx(simple_pmf.mean())
+        assert s.std == pytest.approx(simple_pmf.std())
+        assert s.cv == pytest.approx(s.std / s.mean)
+        assert (s.minimum, s.maximum) == simple_pmf.support()
+        assert s.median == simple_pmf.quantile(0.5)
+        assert s.n_pulses == 3
+
+    def test_as_dict_roundtrip(self, simple_pmf):
+        d = summarize(simple_pmf).as_dict()
+        assert set(d) == {"mean", "std", "cv", "min", "max", "median", "n_pulses"}
+
+    def test_zero_mean_cv_inf(self):
+        pmf = PMF([-1.0, 1.0], [0.5, 0.5])
+        assert summarize(pmf).cv == float("inf")
+
+
+class TestDistances:
+    def test_identity_zero(self, simple_pmf):
+        assert distance_tv(simple_pmf, simple_pmf) == 0.0
+        assert distance_ks(simple_pmf, simple_pmf) == 0.0
+
+    def test_disjoint_tv_one(self):
+        a = deterministic(0.0)
+        b = deterministic(1.0)
+        assert distance_tv(a, b) == pytest.approx(1.0)
+        assert distance_ks(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self, simple_pmf):
+        other = uniform_support([1.0, 2.0, 3.0])
+        assert distance_tv(simple_pmf, other) == pytest.approx(
+            distance_tv(other, simple_pmf)
+        )
+        assert distance_ks(simple_pmf, other) == pytest.approx(
+            distance_ks(other, simple_pmf)
+        )
+
+    def test_tv_bounds(self, simple_pmf):
+        other = uniform_support([0.5, 2.0])
+        tv = distance_tv(simple_pmf, other)
+        assert 0.0 <= tv <= 1.0
+
+    def test_ks_le_tv(self, simple_pmf):
+        other = uniform_support([1.0, 4.0])
+        assert distance_ks(simple_pmf, other) <= distance_tv(simple_pmf, other) + 1e-12
+
+
+class TestEntropy:
+    def test_deterministic_zero(self):
+        assert entropy(deterministic(5.0)) == pytest.approx(0.0)
+
+    def test_uniform_max(self):
+        n = 8
+        pmf = uniform_support(np.arange(float(n)))
+        assert entropy(pmf) == pytest.approx(np.log(n))
+
+    def test_nonuniform_below_uniform(self, simple_pmf):
+        assert entropy(simple_pmf) < np.log(len(simple_pmf))

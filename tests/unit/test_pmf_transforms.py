@@ -1,0 +1,127 @@
+"""Unit tests of the paper-specific PMF transforms (Eq. 2 and dilation)."""
+
+import pytest
+
+from repro.errors import PMFError
+from repro.pmf import (
+    PMF,
+    amdahl_time,
+    amdahl_transform,
+    deterministic,
+    dilate_by_availability,
+    discretized_normal,
+    effective_completion_pmf,
+    percent_availability,
+    speedup,
+)
+
+
+class TestAmdahl:
+    def test_eq2_serial_only_processor_count_irrelevant(self):
+        assert amdahl_time(100.0, 1.0 - 1e-12, 8) == pytest.approx(100.0, rel=1e-9)
+
+    def test_eq2_fully_parallel(self):
+        assert amdahl_time(100.0, 0.0, 4) == pytest.approx(25.0)
+
+    def test_eq2_paper_app1_robust(self):
+        # app1: s=0.3, T=1800 on 2 processors -> 540 + 1260/2 = 1170.
+        assert amdahl_time(1800.0, 0.3, 2) == pytest.approx(1170.0)
+
+    def test_eq2_paper_app3_naive(self):
+        # app3: s=0.05, T=8000 on 4 processors -> 400 + 7600/4 = 2300.
+        assert amdahl_time(8000.0, 0.05, 4) == pytest.approx(2300.0)
+
+    def test_single_processor_identity(self):
+        assert amdahl_time(123.0, 0.4, 1) == pytest.approx(123.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PMFError):
+            amdahl_time(10.0, 1.5, 2)
+        with pytest.raises(PMFError):
+            amdahl_time(10.0, -0.1, 2)
+
+    def test_invalid_processors(self):
+        with pytest.raises(PMFError):
+            amdahl_time(10.0, 0.5, 0)
+
+    def test_transform_probabilities_unchanged(self, simple_pmf):
+        out = amdahl_transform(simple_pmf, 0.5, 4)
+        assert out.probs.tolist() == simple_pmf.probs.tolist()
+
+    def test_transform_monotone_in_processors(self):
+        pmf = discretized_normal(1000.0, 100.0)
+        t2 = amdahl_transform(pmf, 0.2, 2).mean()
+        t4 = amdahl_transform(pmf, 0.2, 4).mean()
+        t8 = amdahl_transform(pmf, 0.2, 8).mean()
+        assert t2 > t4 > t8
+
+    def test_speedup_bounded_by_inverse_serial_fraction(self):
+        assert speedup(0.25, 10_000) < 4.0
+        assert speedup(0.25, 4) == pytest.approx(1.0 / (0.25 + 0.75 / 4))
+
+
+class TestDilation:
+    def test_deterministic_availability_is_scaling(self, simple_pmf):
+        half = deterministic(0.5)
+        out = dilate_by_availability(simple_pmf, half)
+        assert out.mean() == pytest.approx(2 * simple_pmf.mean())
+
+    def test_mean_is_product_of_means(self, simple_pmf):
+        avail = percent_availability([(25, 25), (50, 25), (100, 50)])
+        out = dilate_by_availability(simple_pmf, avail)
+        e_inv = 0.25 / 0.25 + 0.25 / 0.5 + 0.5 / 1.0
+        assert out.mean() == pytest.approx(simple_pmf.mean() * e_inv)
+
+    def test_full_availability_identity(self, simple_pmf):
+        out = dilate_by_availability(simple_pmf, deterministic(1.0))
+        assert out == simple_pmf
+
+    def test_zero_availability_rejected(self, simple_pmf):
+        with pytest.raises(PMFError):
+            dilate_by_availability(simple_pmf, PMF([0.0, 1.0], [0.5, 0.5]))
+
+    def test_above_one_rejected(self, simple_pmf):
+        with pytest.raises(PMFError):
+            dilate_by_availability(simple_pmf, deterministic(1.5))
+
+
+class TestEffectiveCompletion:
+    """The composition reproducing the paper's Table V numbers."""
+
+    def test_paper_naive_app1(self):
+        pmf = effective_completion_pmf(
+            discretized_normal(4000.0, 400.0),
+            0.30,
+            4,
+            percent_availability([(25, 25), (50, 25), (100, 50)]),
+        )
+        assert pmf.mean() == pytest.approx(3800.0, rel=1e-3)
+
+    def test_paper_robust_app2(self):
+        pmf = effective_completion_pmf(
+            discretized_normal(2800.0, 280.0),
+            0.20,
+            2,
+            percent_availability([(75, 50), (100, 50)]),
+        )
+        assert pmf.mean() == pytest.approx(1960.0, rel=1e-3)
+
+    def test_paper_robust_app3_deadline_prob(self):
+        pmf = effective_completion_pmf(
+            discretized_normal(8000.0, 800.0),
+            0.05,
+            8,
+            percent_availability([(25, 25), (50, 25), (100, 50)]),
+        )
+        # Pr <= 3250: alpha=1 w.p. 0.5 always meets; alpha=0.5 w.p. 0.25
+        # meets with Phi(2.04) ~ 0.979; alpha=0.25 never.
+        assert pmf.prob_leq(3250.0) == pytest.approx(0.745, abs=0.005)
+
+    def test_more_processors_never_hurt_probability(self):
+        exec_pmf = discretized_normal(8000.0, 800.0)
+        avail = percent_availability([(50, 50), (100, 50)])
+        probs = [
+            effective_completion_pmf(exec_pmf, 0.05, n, avail).prob_leq(3250.0)
+            for n in (1, 2, 4, 8)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))

@@ -1,0 +1,83 @@
+"""Unit tests of the branch-and-bound exact allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Application, Batch, normal_exectime_model
+from repro.errors import InfeasibleAllocationError
+from repro.pmf import PMF
+from repro.ra import (
+    BranchAndBoundAllocator,
+    ExhaustiveAllocator,
+    StageIEvaluator,
+)
+from repro.system import HeterogeneousSystem, ProcessorType
+
+
+@pytest.fixture
+def evaluator(paper_like_batch, paper_like_system):
+    return StageIEvaluator(paper_like_batch, paper_like_system, 3250.0)
+
+
+class TestOptimality:
+    def test_matches_exhaustive_on_paper(self, evaluator):
+        bb = BranchAndBoundAllocator().allocate(evaluator)
+        ex = ExhaustiveAllocator().allocate(evaluator)
+        assert bb.robustness == pytest.approx(ex.robustness, abs=1e-12)
+        assert sorted(bb.allocation.as_table()) == sorted(
+            ex.allocation.as_table()
+        )
+
+    def test_prunes_versus_exhaustive(self, evaluator):
+        bb = BranchAndBoundAllocator().allocate(evaluator)
+        ex = ExhaustiveAllocator().allocate(evaluator)
+        assert bb.evaluations < ex.evaluations
+
+    def test_node_budget_guard(self, evaluator):
+        with pytest.raises(InfeasibleAllocationError):
+            BranchAndBoundAllocator(max_nodes=1).allocate(evaluator)
+
+    def test_heuristic_name(self, evaluator):
+        assert (
+            BranchAndBoundAllocator().allocate(evaluator).heuristic
+            == "branch-and-bound"
+        )
+
+
+@st.composite
+def instances(draw):
+    n_types = draw(st.integers(1, 2))
+    types = []
+    for j in range(n_types):
+        count = draw(st.sampled_from([2, 4, 8]))
+        levels = draw(
+            st.lists(st.floats(0.2, 1.0), min_size=1, max_size=2, unique=True)
+        )
+        pmf = PMF(levels, [1.0 / len(levels)] * len(levels), normalize=True)
+        types.append(ProcessorType(f"t{j}", count, availability=pmf))
+    system = HeterogeneousSystem(types)
+    n_apps = draw(st.integers(1, min(3, system.total_processors)))
+    apps = []
+    for i in range(n_apps):
+        means = {t.name: draw(st.floats(500.0, 8000.0)) for t in system.types}
+        apps.append(
+            Application(
+                f"a{i}",
+                draw(st.integers(0, 100)),
+                draw(st.integers(50, 2000)),
+                normal_exectime_model(means, cv=0.1),
+            )
+        )
+    deadline = draw(st.floats(500.0, 10_000.0))
+    return system, Batch(apps), deadline
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances())
+def test_always_matches_exhaustive(instance):
+    system, batch, deadline = instance
+    evaluator = StageIEvaluator(batch, system, deadline)
+    bb = BranchAndBoundAllocator().allocate(evaluator)
+    ex = ExhaustiveAllocator().allocate(evaluator)
+    assert bb.robustness == pytest.approx(ex.robustness, abs=1e-9)

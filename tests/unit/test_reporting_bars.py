@@ -1,0 +1,60 @@
+"""Unit tests of the terminal bar-chart renderer."""
+
+import pytest
+
+from repro.reporting import render_barchart, render_grouped_barchart
+
+
+class TestRenderBarchart:
+    def test_basic_structure(self):
+        out = render_barchart(["a", "bb"], [10.0, 20.0], width=20)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "10" in lines[0] and "20" in lines[1]
+
+    def test_bar_lengths_proportional(self):
+        out = render_barchart(["a", "b"], [10.0, 20.0], width=20)
+        a, b = out.splitlines()
+        assert b.count("█") == 2 * a.count("█")
+
+    def test_marker_and_violation_flag(self):
+        out = render_barchart(
+            ["ok", "bad"], [50.0, 150.0], marker=100.0, marker_label="deadline"
+        )
+        lines = out.splitlines()
+        assert "┆" in lines[0]  # marker drawn past the short bar
+        assert lines[1].rstrip().endswith("!")  # violation flagged
+        assert "deadline" in lines[-1]
+
+    def test_title(self):
+        out = render_barchart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_barchart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_barchart([], [])
+        with pytest.raises(ValueError):
+            render_barchart(["a"], [1.0], width=2)
+        with pytest.raises(ValueError):
+            render_barchart(["a"], [0.0])
+
+
+class TestGrouped:
+    def test_groups_rendered_in_order(self):
+        out = render_grouped_barchart(
+            {
+                "case1": {"FAC": 10.0, "AF": 8.0},
+                "case2": {"FAC": 14.0, "AF": 9.0},
+            },
+            marker=12.0,
+            title="figure",
+        )
+        assert out.index("case1") < out.index("case2")
+        assert out.splitlines()[0] == "figure"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_grouped_barchart({})

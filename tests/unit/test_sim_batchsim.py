@@ -1,0 +1,127 @@
+"""Unit tests of whole-batch simulation (repro.sim.batchsim)."""
+
+import pytest
+
+from repro.dls import make_technique
+from repro.errors import SimulationError
+from repro.ra import Allocation
+from repro.sim import LoopSimConfig, replicate_batch, simulate_batch
+from repro.system import ProcessorGroup
+
+
+@pytest.fixture
+def allocation(paper_like_system, paper_like_batch):
+    return Allocation(
+        {
+            "app1": ProcessorGroup(paper_like_system.type("type1"), 2),
+            "app2": ProcessorGroup(paper_like_system.type("type1"), 2),
+            "app3": ProcessorGroup(paper_like_system.type("type2"), 8),
+        },
+        system=paper_like_system,
+        batch=paper_like_batch,
+    )
+
+
+FAST = LoopSimConfig(overhead=0.5, availability_interval=500.0)
+
+
+class TestSimulateBatch:
+    def test_single_technique_for_all(self, paper_like_batch, allocation):
+        run = simulate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            deadline=3250.0, seed=1, config=FAST,
+        )
+        assert set(run.app_results) == {"app1", "app2", "app3"}
+        assert run.makespan == max(
+            r.makespan for r in run.app_results.values()
+        )
+
+    def test_per_app_techniques(self, paper_like_batch, allocation):
+        techniques = {
+            "app1": make_technique("FAC"),
+            "app2": make_technique("WF"),
+            "app3": make_technique("AF"),
+        }
+        run = simulate_batch(
+            paper_like_batch, allocation, techniques, seed=1, config=FAST
+        )
+        assert run.app_results["app3"].technique == "AF"
+
+    def test_missing_technique_rejected(self, paper_like_batch, allocation):
+        with pytest.raises(SimulationError):
+            simulate_batch(
+                paper_like_batch, allocation,
+                {"app1": make_technique("FAC")},
+                config=FAST,
+            )
+
+    def test_deadline_api(self, paper_like_batch, allocation):
+        run = simulate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            deadline=1e9, seed=1, config=FAST,
+        )
+        assert run.meets_deadline()
+        assert run.violating_apps() == []
+        tight = simulate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            deadline=1.0, seed=1, config=FAST,
+        )
+        assert not tight.meets_deadline()
+        assert set(tight.violating_apps()) == {"app1", "app2", "app3"}
+
+    def test_no_deadline_raises_on_query(self, paper_like_batch, allocation):
+        run = simulate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            seed=1, config=FAST,
+        )
+        with pytest.raises(ValueError):
+            run.meets_deadline()
+        with pytest.raises(ValueError):
+            run.violating_apps()
+
+    def test_reproducible(self, paper_like_batch, allocation):
+        a = simulate_batch(
+            paper_like_batch, allocation, make_technique("FAC"), seed=3, config=FAST
+        )
+        b = simulate_batch(
+            paper_like_batch, allocation, make_technique("FAC"), seed=3, config=FAST
+        )
+        assert a.makespan == b.makespan
+
+
+class TestReplicateBatch:
+    def test_aggregates(self, paper_like_batch, allocation):
+        stats = replicate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            replications=4, deadline=3250.0, seed=2, config=FAST,
+        )
+        assert len(stats.system_makespans) == 4
+        assert set(stats.per_app) == {"app1", "app2", "app3"}
+        assert 0.0 <= stats.deadline_probability() <= 1.0
+        assert stats.mean_makespan > 0
+
+    def test_system_makespan_dominates_apps(self, paper_like_batch, allocation):
+        stats = replicate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            replications=3, seed=2, config=FAST,
+        )
+        for r, psi in enumerate(stats.system_makespans):
+            for app_stats in stats.per_app.values():
+                assert app_stats.makespans[r] <= psi + 1e-12
+
+    def test_validation(self, paper_like_batch, allocation):
+        with pytest.raises(SimulationError):
+            replicate_batch(
+                paper_like_batch, allocation, make_technique("FAC"),
+                replications=0,
+            )
+
+    def test_no_deadline_probability_without_deadline(
+        self, paper_like_batch, allocation
+    ):
+        stats = replicate_batch(
+            paper_like_batch, allocation, make_technique("FAC"),
+            replications=2, seed=2, config=FAST,
+        )
+        with pytest.raises(ValueError):
+            stats.deadline_probability()

@@ -1,0 +1,112 @@
+"""Unit tests of replication planning (repro.sim.planning)."""
+
+import pytest
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import make_technique
+from repro.errors import SimulationError
+from repro.sim import LoopSimConfig, plan_replications
+from repro.system import HeterogeneousSystem, ProcessorType
+from repro.pmf import percent_availability
+
+
+@pytest.fixture(scope="module")
+def noisy_case():
+    system = HeterogeneousSystem(
+        [
+            ProcessorType(
+                "t", 4,
+                availability=percent_availability([(50, 50), (100, 50)]),
+            )
+        ]
+    )
+    app = Application(
+        "n", 0, 256,
+        normal_exectime_model({"t": 512.0}),
+        iteration_cv=0.3,
+    )
+    return app, system.group("t", 4)
+
+
+CONFIG = LoopSimConfig(overhead=0.5, availability_interval=100.0)
+
+
+class TestPlanReplications:
+    def test_converges_on_loose_target(self, noisy_case):
+        app, group = noisy_case
+        plan = plan_replications(
+            app, group, make_technique("FAC"),
+            relative_halfwidth=0.2, seed=1, config=CONFIG,
+        )
+        assert plan.converged
+        assert plan.halfwidth <= plan.target_halfwidth
+        assert plan.replications >= 5
+
+    def test_tight_target_needs_more_replications(self, noisy_case):
+        app, group = noisy_case
+        loose = plan_replications(
+            app, group, make_technique("FAC"),
+            relative_halfwidth=0.2, seed=1, config=CONFIG,
+        )
+        tight = plan_replications(
+            app, group, make_technique("FAC"),
+            relative_halfwidth=0.02, seed=1, config=CONFIG,
+            max_replications=200,
+        )
+        assert tight.replications >= loose.replications
+
+    def test_absolute_halfwidth(self, noisy_case):
+        app, group = noisy_case
+        plan = plan_replications(
+            app, group, make_technique("FAC"),
+            relative_halfwidth=None, absolute_halfwidth=1e9,
+            seed=1, config=CONFIG,
+        )
+        assert plan.converged
+        assert plan.replications == 5  # first check already passes
+
+    def test_cap_reported_unconverged(self, noisy_case):
+        app, group = noisy_case
+        plan = plan_replications(
+            app, group, make_technique("FAC"),
+            relative_halfwidth=1e-6, seed=1, config=CONFIG,
+            max_replications=10,
+        )
+        assert not plan.converged
+        assert plan.replications == 10
+
+    def test_deterministic_converges_immediately(self):
+        system = HeterogeneousSystem([ProcessorType("t", 2)])
+        app = Application(
+            "d", 0, 100, normal_exectime_model({"t": 100.0}, cv=0.0),
+            iteration_cv=0.0,
+        )
+        plan = plan_replications(
+            app, system.group("t", 2), make_technique("STATIC"),
+            relative_halfwidth=0.01, seed=1,
+            config=LoopSimConfig(overhead=0.0),
+        )
+        assert plan.converged
+        assert plan.replications == 5
+        assert plan.halfwidth == 0.0
+
+    def test_validation(self, noisy_case):
+        app, group = noisy_case
+        tech = make_technique("FAC")
+        # exactly-one-target constraint
+        with pytest.raises(SimulationError):
+            plan_replications(
+                app, group, tech,
+                relative_halfwidth=0.1, absolute_halfwidth=1.0,
+            )
+        with pytest.raises(SimulationError):
+            plan_replications(app, group, tech, relative_halfwidth=-0.1)
+        with pytest.raises(SimulationError):
+            plan_replications(
+                app, group, tech, relative_halfwidth=0.1, initial=1
+            )
+        with pytest.raises(SimulationError):
+            plan_replications(
+                app, group, tech, relative_halfwidth=0.1,
+                initial=10, max_replications=5,
+            )

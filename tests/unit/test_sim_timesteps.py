@@ -1,0 +1,95 @@
+"""Unit tests of the time-stepping simulation (repro.sim.timesteps)."""
+
+import pytest
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import make_technique
+from repro.errors import SimulationError
+from repro.sim import LoopSimConfig, simulate_timestepped
+from repro.system import ConstantAvailability, HeterogeneousSystem, ProcessorType
+
+
+@pytest.fixture
+def system():
+    return HeterogeneousSystem([ProcessorType("t", 4)])
+
+
+@pytest.fixture
+def app():
+    return Application(
+        "ts", 8, 400,
+        normal_exectime_model({"t": 408.0}, cv=0.0),
+        iteration_cv=0.0,
+    )
+
+
+NO_OVERHEAD = LoopSimConfig(overhead=0.0)
+
+
+class TestTimestepped:
+    def test_steps_contiguous(self, app, system):
+        result = simulate_timestepped(
+            app, system.group("t", 4), make_technique("FAC"),
+            n_timesteps=4, seed=0, config=NO_OVERHEAD,
+        )
+        assert len(result.steps) == 4
+        for prev, nxt in zip(result.steps, result.steps[1:]):
+            assert nxt.start_time == pytest.approx(prev.finish_time)
+        assert result.makespan == result.steps[-1].finish_time
+
+    def test_every_step_executes_all_iterations(self, app, system):
+        result = simulate_timestepped(
+            app, system.group("t", 4), make_technique("AWF"),
+            n_timesteps=3, seed=1, config=NO_OVERHEAD,
+        )
+        for step in result.steps:
+            assert sum(c.size for c in step.chunks) == app.n_parallel
+
+    def test_deterministic_app_constant_steps(self, app, system):
+        result = simulate_timestepped(
+            app, system.group("t", 4), make_technique("STATIC"),
+            n_timesteps=3, seed=2, config=NO_OVERHEAD,
+        )
+        durations = result.step_durations
+        assert durations[0] == pytest.approx(durations[1])
+        # serial 8 iters x 1.0 + parallel 400/4 x 1.0 = 108 per step.
+        assert durations[0] == pytest.approx(108.0)
+
+    def test_awf_improves_across_timesteps(self, system):
+        """AWF learns a persistently slow worker between timesteps."""
+        app = Application(
+            "ts", 0, 400,
+            normal_exectime_model({"t": 400.0}, cv=0.0),
+            iteration_cv=0.0,
+        )
+        models = [ConstantAvailability(1.0)] * 3 + [ConstantAvailability(0.2)]
+        awf = simulate_timestepped(
+            app, system.group("t", 4), make_technique("AWF"),
+            n_timesteps=4, seed=3, config=NO_OVERHEAD, availability=models,
+        )
+        # First step: uniform weights; later steps: adapted -> faster.
+        assert awf.improvement_ratio() > 1.1
+        wf = simulate_timestepped(
+            app, system.group("t", 4), make_technique("WF"),
+            n_timesteps=4, seed=3, config=NO_OVERHEAD, availability=models,
+        )
+        # WF never adapts: no systematic improvement.
+        assert awf.steps[-1].duration < wf.steps[-1].duration
+
+    def test_reproducible(self, app, system):
+        a = simulate_timestepped(
+            app, system.group("t", 4), make_technique("AF"),
+            n_timesteps=2, seed=5,
+        )
+        b = simulate_timestepped(
+            app, system.group("t", 4), make_technique("AF"),
+            n_timesteps=2, seed=5,
+        )
+        assert a.makespan == b.makespan
+
+    def test_validation(self, app, system):
+        with pytest.raises(SimulationError):
+            simulate_timestepped(
+                app, system.group("t", 4), make_technique("FAC"),
+                n_timesteps=0,
+            )

@@ -1,0 +1,116 @@
+"""Unit tests of the system model (repro.system.cluster)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pmf import percent_availability
+from repro.system import (
+    HeterogeneousSystem,
+    ProcessorGroup,
+    ProcessorType,
+    weighted_system_availability,
+)
+
+
+class TestProcessorGroup:
+    def test_processors_enumeration(self):
+        t = ProcessorType("t", 4)
+        g = ProcessorGroup(t, 2)
+        assert [p.uid for p in g.processors] == ["t[0]", "t[1]"]
+
+    def test_size_bounds(self):
+        t = ProcessorType("t", 4)
+        with pytest.raises(ModelError):
+            ProcessorGroup(t, 0)
+        with pytest.raises(ModelError):
+            ProcessorGroup(t, 5)
+
+    def test_expected_rate(self, type2_availability):
+        t = ProcessorType("t", 8, availability=type2_availability)
+        g = ProcessorGroup(t, 8)
+        assert g.expected_rate == pytest.approx(8 * 0.6875)
+
+    def test_availability_passthrough(self, type1_availability):
+        t = ProcessorType("t", 4, availability=type1_availability)
+        assert ProcessorGroup(t, 2).availability == type1_availability
+
+
+class TestHeterogeneousSystem:
+    def test_lookup_by_name_and_index(self, paper_like_system):
+        assert paper_like_system.type("type1").count == 4
+        assert paper_like_system.type(1).name == "type2"
+
+    def test_unknown_lookups(self, paper_like_system):
+        with pytest.raises(ModelError):
+            paper_like_system.type("nope")
+        with pytest.raises(ModelError):
+            paper_like_system.type(7)
+
+    def test_totals(self, paper_like_system):
+        assert paper_like_system.total_processors == 12
+        assert paper_like_system.counts() == {"type1": 4, "type2": 8}
+        assert len(paper_like_system) == 2
+        assert paper_like_system.type_names == ("type1", "type2")
+
+    def test_group_factory(self, paper_like_system):
+        g = paper_like_system.group("type2", 8)
+        assert g.size == 8 and g.ptype.name == "type2"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            HeterogeneousSystem([ProcessorType("t", 1), ProcessorType("t", 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            HeterogeneousSystem([])
+
+    def test_with_availabilities(self, paper_like_system):
+        new_avail = percent_availability([(50, 100)])
+        other = paper_like_system.with_availabilities({"type1": new_avail})
+        assert other.type("type1").expected_availability == pytest.approx(0.5)
+        # untouched type keeps its PMF; original system unchanged
+        assert other.type("type2").availability == paper_like_system.type(
+            "type2"
+        ).availability
+        assert paper_like_system.type("type1").expected_availability == pytest.approx(
+            0.875
+        )
+
+    def test_with_availabilities_unknown_type(self, paper_like_system):
+        with pytest.raises(ModelError):
+            paper_like_system.with_availabilities(
+                {"typeX": percent_availability([(50, 100)])}
+            )
+
+
+class TestWeightedAvailability:
+    def test_paper_case1(self, paper_like_system):
+        # Table I: (4 * 87.5 + 8 * 68.75) / 12 = 75.00.
+        assert paper_like_system.weighted_availability() == pytest.approx(0.75)
+
+    def test_paper_case3(self):
+        system = HeterogeneousSystem(
+            [
+                ProcessorType(
+                    "type1", 4,
+                    availability=percent_availability([(52, 50), (69, 50)]),
+                ),
+                ProcessorType(
+                    "type2", 8,
+                    availability=percent_availability(
+                        [(17, 25), (35, 25), (69, 50)]
+                    ),
+                ),
+            ]
+        )
+        # (4 * 60.5 + 8 * 47.5) / 12 = 51.83 (paper rounds to 51.92 via its
+        # own table rounding; we verify against the exact PMF arithmetic).
+        assert system.weighted_availability() == pytest.approx(0.51833, abs=1e-4)
+
+    def test_single_type(self):
+        t = ProcessorType("t", 3, availability=percent_availability([(40, 100)]))
+        assert weighted_system_availability([t]) == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            weighted_system_availability([])

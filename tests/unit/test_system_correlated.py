@@ -1,0 +1,144 @@
+"""Unit tests of correlated availability (repro.system.correlated)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.system import (
+    ConstantAvailability,
+    ModulatedAvailability,
+    ResampledAvailability,
+    SharedLoadModulator,
+)
+from repro.pmf import percent_availability
+
+
+class TestSharedLoadModulator:
+    def test_levels_from_states(self):
+        mod = SharedLoadModulator(
+            levels=(1.0, 0.5), mean_sojourn=(100.0, 100.0), rng=1,
+            horizon=5_000.0,
+        )
+        seen = {mod.level_at(t) for t in np.arange(0, 5_000, 10.0)}
+        assert seen <= {1.0, 0.5}
+        assert len(seen) == 2
+
+    def test_frozen_realization(self):
+        mod = SharedLoadModulator(rng=7, horizon=2_000.0)
+        ts = np.arange(0, 2_000, 25.0)
+        first = [mod.level_at(t) for t in ts]
+        second = [mod.level_at(t) for t in ts]
+        assert first == second
+
+    def test_same_seed_same_trajectory(self):
+        a = SharedLoadModulator(rng=3, horizon=1_000.0)
+        b = SharedLoadModulator(rng=3, horizon=1_000.0)
+        ts = np.arange(0, 1_000, 10.0)
+        assert [a.level_at(t) for t in ts] == [b.level_at(t) for t in ts]
+
+    def test_expected_level(self):
+        mod = SharedLoadModulator(
+            levels=(1.0, 0.5),
+            mean_sojourn=(100.0, 100.0),
+            transition=((0.0, 1.0), (1.0, 0.0)),
+            rng=1,
+        )
+        assert mod.expected_level() == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SharedLoadModulator(horizon=0.0)
+        with pytest.raises(ModelError):
+            SharedLoadModulator(resolution=0.0)
+        mod = SharedLoadModulator(rng=1)
+        with pytest.raises(ModelError):
+            mod.level_at(-1.0)
+
+
+class TestModulatedAvailability:
+    def test_identity_modulator(self):
+        mod = SharedLoadModulator(
+            levels=(1.0,), mean_sojourn=(1_000.0,), transition=((1.0,),), rng=1
+        )
+        wrapped = mod.modulate(ConstantAvailability(0.8))
+        proc = wrapped.spawn(1)
+        for t in (0.0, 123.0, 4_000.0):
+            assert proc.level_at(t) == pytest.approx(0.8)
+
+    def test_correlation_across_processors(self):
+        """Two processors wrapped by one modulator co-vary; independent
+        base processes alone do not."""
+        mod = SharedLoadModulator(
+            levels=(1.0, 0.2), mean_sojourn=(200.0, 200.0), rng=5,
+            horizon=20_000.0,
+        )
+        base = ConstantAvailability(1.0)
+        p1 = mod.modulate(base).spawn(1)
+        p2 = mod.modulate(base).spawn(2)
+        ts = np.arange(0, 20_000, 50.0)
+        a = np.array([p1.level_at(t) for t in ts])
+        b = np.array([p2.level_at(t) for t in ts])
+        # Constant bases: both trajectories are exactly the shared load.
+        assert np.array_equal(a, b)
+        assert a.std() > 0  # the shared load actually varies
+
+    def test_correlation_with_stochastic_bases(self):
+        mod = SharedLoadModulator(
+            levels=(1.0, 0.2), mean_sojourn=(300.0, 300.0), rng=9,
+            horizon=50_000.0,
+        )
+        pmf = percent_availability([(50, 50), (100, 50)])
+        base = ResampledAvailability(pmf, interval=100.0)
+        p1 = mod.modulate(base).spawn(1)
+        p2 = mod.modulate(base).spawn(2)
+        ts = np.arange(0, 50_000, 50.0)
+        a = np.array([p1.level_at(t) for t in ts])
+        b = np.array([p2.level_at(t) for t in ts])
+        corr = np.corrcoef(a, b)[0, 1]
+        # Shared load induces strong positive correlation...
+        assert corr > 0.3
+        # ...absent without the modulator.
+        q1 = base.spawn(1)
+        q2 = base.spawn(2)
+        ia = np.array([q1.level_at(t) for t in ts])
+        ib = np.array([q2.level_at(t) for t in ts])
+        assert abs(np.corrcoef(ia, ib)[0, 1]) < 0.1
+
+    def test_levels_floored_positive(self):
+        mod = SharedLoadModulator(
+            levels=(0.001,), mean_sojourn=(1_000.0,), transition=((1.0,),),
+            rng=1,
+        )
+        proc = mod.modulate(ConstantAvailability(0.001)).spawn(1)
+        assert proc.level_at(10.0) > 0
+
+    def test_expected_level_product(self):
+        mod = SharedLoadModulator(
+            levels=(1.0, 0.5),
+            mean_sojourn=(100.0, 100.0),
+            transition=((0.0, 1.0), (1.0, 0.0)),
+            rng=2,
+        )
+        wrapped = mod.modulate(ConstantAvailability(0.8))
+        assert wrapped.expected_level() == pytest.approx(0.6)
+
+    def test_usable_in_simulation(self):
+        from repro.apps import Application, normal_exectime_model
+        from repro.dls import make_technique
+        from repro.sim import LoopSimConfig, simulate_application
+        from repro.system import HeterogeneousSystem, ProcessorType
+
+        mod = SharedLoadModulator(rng=4, horizon=100_000.0)
+        system = HeterogeneousSystem([ProcessorType("t", 4)])
+        app = Application(
+            "c", 0, 200, normal_exectime_model({"t": 400.0}, cv=0.0),
+            iteration_cv=0.0,
+        )
+        models = [mod.modulate(ConstantAvailability(1.0))] * 4
+        result = simulate_application(
+            app, system.group("t", 4), make_technique("FAC"),
+            seed=1, config=LoopSimConfig(overhead=0.0), availability=models,
+        )
+        assert result.iterations_executed == 200
+        # Shared load < 1 some of the time: slower than dedicated.
+        assert result.makespan >= 50.0 - 1e-9

@@ -1,0 +1,62 @@
+"""Unit tests of processor types (repro.system.processor)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pmf import deterministic, percent_availability
+from repro.system import Processor, ProcessorType
+
+
+class TestProcessorType:
+    def test_defaults(self):
+        t = ProcessorType("t", 4)
+        assert t.expected_availability == 1.0
+        assert t.capacity == 1.0
+        assert t.expected_rate == 1.0
+
+    def test_expected_availability(self, type2_availability):
+        t = ProcessorType("type2", 8, availability=type2_availability)
+        assert t.expected_availability == pytest.approx(0.6875)
+
+    def test_expected_rate_includes_capacity(self, type1_availability):
+        t = ProcessorType("t", 2, availability=type1_availability, capacity=2.0)
+        assert t.expected_rate == pytest.approx(2.0 * 0.875)
+
+    def test_with_availability(self, type1_availability, type2_availability):
+        t = ProcessorType("t", 2, availability=type1_availability)
+        u = t.with_availability(type2_availability)
+        assert u.availability == type2_availability
+        assert (u.name, u.count, u.capacity) == (t.name, t.count, t.capacity)
+        # Original unchanged (frozen dataclass).
+        assert t.availability == type1_availability
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessorType("", 2)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessorType("t", 0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessorType("t", 1, capacity=0.0)
+
+    def test_bad_availability_support_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessorType("t", 1, availability=deterministic(1.5))
+
+
+class TestProcessor:
+    def test_uid(self):
+        t = ProcessorType("type1", 4)
+        assert Processor(t, 2).uid == "type1[2]"
+
+    def test_index_bounds(self):
+        t = ProcessorType("type1", 4)
+        Processor(t, 0)
+        Processor(t, 3)
+        with pytest.raises(ModelError):
+            Processor(t, 4)
+        with pytest.raises(ModelError):
+            Processor(t, -1)

@@ -1,0 +1,61 @@
+"""Unit tests of trace recording (repro.system.traces)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pmf import percent_availability
+from repro.system import (
+    ConstantAvailability,
+    ResampledAvailability,
+    TraceAvailability,
+    empirical_pmf_pairs,
+    record_trace,
+    summarize_trace,
+)
+
+
+class TestRecordTrace:
+    def test_constant_single_segment(self):
+        proc = ConstantAvailability(0.5).spawn()
+        trace = record_trace(proc, horizon=100.0, resolution=1.0)
+        assert len(trace.segments) == 1
+        assert trace.segments[0] == (100.0, 0.5)
+
+    def test_replay_matches_original(self, type2_availability):
+        model = ResampledAvailability(type2_availability, interval=10.0)
+        proc = model.spawn(21)
+        trace = record_trace(proc, horizon=200.0, resolution=1.0)
+        replay = trace.spawn()
+        for t in (0.0, 5.5, 50.0, 123.0, 199.0):
+            assert replay.level_at(t) == proc.level_at(t)
+
+    def test_validation(self):
+        proc = ConstantAvailability(1.0).spawn()
+        with pytest.raises(ModelError):
+            record_trace(proc, horizon=0.0)
+        with pytest.raises(ModelError):
+            record_trace(proc, horizon=10.0, resolution=0.0)
+
+
+class TestSummarize:
+    def test_stats(self):
+        trace = TraceAvailability(((10.0, 0.5), (30.0, 1.0)))
+        s = summarize_trace(trace)
+        assert s.mean_level == pytest.approx((10 * 0.5 + 30 * 1.0) / 40)
+        assert s.min_level == 0.5
+        assert s.max_level == 1.0
+        assert s.n_segments == 2
+        assert s.horizon == 40.0
+        assert s.as_dict()["mean_level"] == s.mean_level
+
+
+class TestEmpiricalPairs:
+    def test_levels_and_fractions(self, type2_availability):
+        model = ResampledAvailability(type2_availability, interval=5.0)
+        pairs = empirical_pmf_pairs(model, horizon=20_000.0, resolution=1.0, rng=2)
+        levels = {lvl for lvl, _ in pairs}
+        assert levels <= {0.25, 0.5, 1.0}
+        total = sum(f for _, f in pairs)
+        assert total == pytest.approx(1.0)
+        by_level = dict(pairs)
+        assert by_level[1.0] == pytest.approx(0.5, abs=0.05)
