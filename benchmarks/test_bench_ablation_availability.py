@@ -15,7 +15,6 @@ The CDSF's qualitative conclusions are expected to be stable across models;
 absolute times differ — this bench quantifies by how much.
 """
 
-import numpy as np
 import pytest
 
 from repro.dls import make_technique

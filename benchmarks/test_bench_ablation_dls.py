@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.dls import ALL_TECHNIQUES, make_technique
-from repro.metrics import summary_statistic
 from repro.paper import PAPER_SIM_CONFIG, data, paper_batch, paper_cases
 from repro.sim import replicate_application, simulate_application
 

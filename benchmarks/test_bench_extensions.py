@@ -83,7 +83,7 @@ def test_bench_analytic_tolerance(benchmark, emit, paper_setup):
     )
     emit(
         "ext_analytic_tolerance",
-        f"Extension: analytic stage-I availability tolerance "
+        "Extension: analytic stage-I availability tolerance "
         f"(phi_1 >= 50% up to a {tolerance:.1f}% uniform decrease)",
         ["decrease %", "phi1"],
         [(d, p) for d, p in curve],

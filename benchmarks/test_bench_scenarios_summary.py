@@ -10,7 +10,7 @@ rho_2 — the dominance of scenario 4 is the asserted shape.
 import pytest
 
 from repro.framework import Scenario, run_all_scenarios
-from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, data, paper_cases, paper_cdsf
+from repro.paper import PAPER_REPLICATIONS, PAPER_SEED, paper_cases, paper_cdsf
 
 LABELS = {
     Scenario.NAIVE_IM_NAIVE_RAS: "1: naive IM + naive RAS",

@@ -14,7 +14,6 @@ events (chunks) for every technique.
 Run:  python examples/dls_comparison.py
 """
 
-import numpy as np
 
 from repro.apps import Application, normal_exectime_model
 from repro.dls import ALL_TECHNIQUES, make_technique

@@ -21,7 +21,6 @@ from repro.paper import (
     table_i_rows,
     table_iv_rows,
     table_v_rows,
-    table_vi_rows,
 )
 from repro.reporting import render_table
 

@@ -25,6 +25,7 @@ Quickstart
 """
 
 from ._version import __version__
+from .contracts import ContractViolation
 from .errors import (
     ReproError,
     PMFError,
@@ -37,6 +38,7 @@ from .errors import (
 
 __all__ = [
     "__version__",
+    "ContractViolation",
     "ReproError",
     "PMFError",
     "ModelError",

@@ -1,0 +1,114 @@
+"""``__all__``-consistency rules.
+
+The public surface of every module is declared through ``__all__`` (the
+API doc generator and ``import *`` both consume it). Three rules keep the
+declarations honest:
+
+* ``ALL001`` — every public module defines ``__all__``;
+* ``ALL002`` — every ``__all__`` entry is actually bound at module top
+  level (typo'd exports raise only at ``import *`` time otherwise);
+* ``ALL003`` — no duplicate ``__all__`` entries.
+
+A module is *public* when no component of its package path starts with an
+underscore (``__init__.py`` counts as public — it names its package;
+``__main__.py`` and ``_version.py`` are private). Modules that build
+``__all__`` dynamically (augmented assignment, comprehension) are only
+checked for presence.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import Finding, Module, Rule, register, toplevel_names
+
+__all__ = ["DunderAllRule"]
+
+
+def _is_public_module(pkgpath: str) -> bool:
+    parts = pkgpath.split("/")
+    for part in parts[:-1]:
+        if part.startswith("_"):
+            return False
+    filename = parts[-1]
+    if filename == "__init__.py":
+        return True
+    return not filename.startswith("_")
+
+
+def _literal_entries(value: ast.expr) -> list[tuple[str, ast.expr]] | None:
+    """``__all__`` entries as (name, node) pairs, or None if non-literal."""
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    entries: list[tuple[str, ast.expr]] = []
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            entries.append((element.value, element))
+        else:
+            return None
+    return entries
+
+
+@register
+class DunderAllRule(Rule):
+    id = "ALL001"
+    ids = ("ALL001", "ALL002", "ALL003")
+    title = "__all__ declared, resolvable, and duplicate-free"
+    rationale = (
+        "the API doc generator and star-imports trust __all__; a missing or "
+        "stale declaration ships a wrong public surface"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if not _is_public_module(module.pkgpath):
+            return
+        assigns = [
+            stmt
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in stmt.targets
+            )
+        ]
+        augmented = any(
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+            for stmt in module.tree.body
+        )
+        if not assigns and not augmented:
+            yield module.finding(
+                module.tree,
+                "ALL001",
+                "public module defines no `__all__`",
+            )
+            return
+        entries: list[tuple[str, ast.expr]] = []
+        dynamic = augmented
+        for stmt in assigns:
+            literal = _literal_entries(stmt.value)
+            if literal is None:
+                dynamic = True
+            else:
+                entries.extend(literal)
+        seen: set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield module.finding(
+                    node, "ALL003", f"duplicate `__all__` entry `{name}`"
+                )
+            seen.add(name)
+        if dynamic:
+            return  # cannot resolve a dynamically built __all__
+        bound, has_star = toplevel_names(module.tree)
+        if has_star:
+            return  # star import: resolution is undecidable statically
+        for name, node in entries:
+            if name not in bound:
+                yield module.finding(
+                    node,
+                    "ALL002",
+                    f"`__all__` entry `{name}` is not defined in the module",
+                )

@@ -1,0 +1,116 @@
+"""PMF-immutability rule.
+
+:class:`repro.pmf.PMF` promises canonical, read-only value/probability
+arrays (DESIGN.md §PMF); every operation returns a new instance. ``PMF001``
+flags code outside ``pmf/pmf.py`` that mutates those arrays in place:
+
+* item/slice assignment or augmented assignment on ``.values`` / ``.probs``
+  (or the private ``._values`` / ``._probs``);
+* rebinding the private attributes themselves;
+* mutating method calls on the arrays (``setflags``, ``sort``, ``fill``,
+  ``put``, ``resize``, ``partition``, ``itemset``);
+* in-place ufunc forms targeting the arrays (``np.add.at(pmf.probs, ...)``,
+  ``np.copyto(pmf.values, ...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import Finding, Module, Rule, dotted_name, register
+
+__all__ = ["PmfImmutabilityRule"]
+
+#: The module that owns the arrays and may construct/freeze them.
+_OWNER_MODULE = "pmf/pmf.py"
+
+_ARRAY_ATTRS = frozenset({"values", "probs", "_values", "_probs"})
+_PRIVATE_ATTRS = frozenset({"_values", "_probs"})
+
+_MUTATING_METHODS = frozenset(
+    {"setflags", "sort", "fill", "put", "resize", "partition", "itemset"}
+)
+
+#: ``np.<ufunc>.at`` / ``np.copyto`` style calls whose first argument is
+#: mutated in place.
+_INPLACE_FIRST_ARG = frozenset({"at", "copyto", "place", "putmask"})
+
+
+def _is_pmf_array(node: ast.expr) -> bool:
+    """``<expr>.values`` / ``<expr>.probs`` (or private variants)."""
+    return isinstance(node, ast.Attribute) and node.attr in _ARRAY_ATTRS
+
+
+@register
+class PmfImmutabilityRule(Rule):
+    id = "PMF001"
+    title = "no in-place mutation of PMF arrays outside pmf/pmf.py"
+    rationale = (
+        "PMFs are shared and memoized; mutating a support/probability array "
+        "corrupts every holder of the instance and breaks canonicalization"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if module.pkgpath == _OWNER_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_store(module, target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                yield from self._check_store(module, node.target)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_store(self, module: Module, target: ast.expr) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_store(module, element)
+            return
+        if isinstance(target, ast.Subscript) and _is_pmf_array(target.value):
+            attr = target.value.attr  # type: ignore[attr-defined]
+            yield module.finding(
+                target,
+                self.id,
+                f"item assignment into `.{attr}`; PMF arrays are immutable — "
+                "build a new PMF instead",
+            )
+        elif isinstance(target, ast.Attribute) and target.attr in _PRIVATE_ATTRS:
+            yield module.finding(
+                target,
+                self.id,
+                f"rebinding private PMF attribute `.{target.attr}` outside "
+                "pmf/pmf.py",
+            )
+
+    def _check_call(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        # pmf.values.sort(), pmf.probs.setflags(write=True), ...
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and _is_pmf_array(func.value)
+        ):
+            attr = func.value.attr  # type: ignore[attr-defined]
+            yield module.finding(
+                node,
+                self.id,
+                f"mutating call `.{attr}.{func.attr}(...)` on a PMF array",
+            )
+            return
+        # np.add.at(pmf.probs, ...), np.copyto(pmf.values, ...)
+        name = dotted_name(func)
+        if (
+            name is not None
+            and name.split(".")[-1] in _INPLACE_FIRST_ARG
+            and node.args
+            and _is_pmf_array(node.args[0])
+        ):
+            attr = node.args[0].attr  # type: ignore[attr-defined]
+            yield module.finding(
+                node,
+                self.id,
+                f"in-place numpy call `{name}` writes into `.{attr}` "
+                "of a PMF",
+            )

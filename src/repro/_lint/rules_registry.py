@@ -1,0 +1,193 @@
+"""Registry-completeness rules.
+
+Every DLS technique the paper evaluates must be reachable by its
+literature name (``make_technique("FAC")``), and every RA heuristic by its
+registry name. A concrete subclass that is not registered is dead weight
+the experiment driver cannot exercise — and the registry-driven invariant
+tests silently skip it.
+
+* ``REG001`` — every public concrete :class:`~repro.dls.base.DLSTechnique`
+  subclass under ``dls/`` appears as a value of
+  ``dls/registry.py::ALL_TECHNIQUES``;
+* ``REG002`` — every public concrete :class:`~repro.ra.base.RAHeuristic`
+  subclass under ``ra/`` appears in ``ra/__init__.py::HEURISTICS``.
+
+"Concrete" is structural: a public class (name not starting with ``_``)
+that transitively derives from the root base within the package, does not
+list ``ABC``/``abc.ABC`` among its bases, and defines no
+``@abstractmethod``. Helper bases stay underscore-private by convention
+(``_GreedyBase``, ``_RoundRobinBase``), which this rule relies on.
+
+A registry spec is skipped when its registry module is not part of the
+linted tree (subtree scans, fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from .core import Finding, Module, Rule, dotted_name, register
+
+__all__ = ["RegistrySpec", "RegistryCompletenessRule", "REGISTRY_SPECS"]
+
+
+@dataclass(frozen=True)
+class RegistrySpec:
+    """One closed registry: base class, package dir, registry location."""
+
+    rule_id: str
+    base: str  # root base class name, e.g. "DLSTechnique"
+    package: str  # package dir prefix inside repro, e.g. "dls"
+    registry_module: str  # pkgpath of the module holding the registry
+    registry_name: str  # the dict variable, e.g. "ALL_TECHNIQUES"
+
+
+REGISTRY_SPECS: tuple[RegistrySpec, ...] = (
+    RegistrySpec(
+        rule_id="REG001",
+        base="DLSTechnique",
+        package="dls",
+        registry_module="dls/registry.py",
+        registry_name="ALL_TECHNIQUES",
+    ),
+    RegistrySpec(
+        rule_id="REG002",
+        base="RAHeuristic",
+        package="ra",
+        registry_module="ra/__init__.py",
+        registry_name="HEURISTICS",
+    ),
+)
+
+
+def _class_defs(modules: Sequence[Module], package: str) -> list[tuple[Module, ast.ClassDef]]:
+    prefix = package + "/"
+    out: list[tuple[Module, ast.ClassDef]] = []
+    for module in modules:
+        if not module.pkgpath.startswith(prefix):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                out.append((module, node))
+    return out
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.add(name.split(".")[-1])
+    return names
+
+
+def _has_abstract_method(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                name = dotted_name(decorator)
+                if name is not None and name.split(".")[-1] in {
+                    "abstractmethod",
+                    "abstractproperty",
+                }:
+                    return True
+    return False
+
+
+def _registered_class_names(module: Module, registry_name: str) -> set[str] | None:
+    """Class names appearing as values of the registry dict, or ``None``
+    when the variable is missing/unrecognizable."""
+    for stmt in module.tree.body:
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == registry_name
+                for t in stmt.targets
+            ):
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == registry_name
+            ):
+                value = stmt.value
+        if value is None:
+            continue
+        names: set[str] = set()
+        if isinstance(value, ast.Dict):
+            for entry in value.values:
+                name = dotted_name(entry)
+                if name is not None:
+                    names.add(name.split(".")[-1])
+        elif isinstance(value, ast.DictComp) and value.generators:
+            iterable = value.generators[0].iter
+            if isinstance(iterable, (ast.Tuple, ast.List)):
+                for entry in iterable.elts:
+                    name = dotted_name(entry)
+                    if name is not None:
+                        names.add(name.split(".")[-1])
+        else:
+            return None
+        return names
+    return None
+
+
+@register
+class RegistryCompletenessRule(Rule):
+    id = "REG001"
+    ids = tuple(spec.rule_id for spec in REGISTRY_SPECS)
+    title = "every concrete technique/heuristic is registered"
+    rationale = (
+        "unregistered subclasses are unreachable by literature name and "
+        "invisible to the registry-driven invariant tests"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        for spec in REGISTRY_SPECS:
+            yield from self._check_spec(spec, modules)
+
+    def _check_spec(
+        self, spec: RegistrySpec, modules: Sequence[Module]
+    ) -> Iterator[Finding]:
+        registry_module = next(
+            (m for m in modules if m.pkgpath == spec.registry_module), None
+        )
+        if registry_module is None:
+            return  # subtree scan without the registry: nothing to check
+        registered = _registered_class_names(registry_module, spec.registry_name)
+        if registered is None:
+            yield registry_module.finding(
+                registry_module.tree,
+                spec.rule_id,
+                f"registry `{spec.registry_name}` not found (or not a "
+                f"literal dict) in {spec.registry_module}",
+            )
+            return
+        class_defs = _class_defs(modules, spec.package)
+        bases_of = {node.name: _base_names(node) for _, node in class_defs}
+        # Transitive closure of "derives from spec.base" within the package.
+        derived: set[str] = {spec.base}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in bases_of.items():
+                if name not in derived and bases & derived:
+                    derived.add(name)
+                    changed = True
+        for module, node in class_defs:
+            if node.name == spec.base or node.name not in derived:
+                continue
+            if node.name.startswith("_"):
+                continue  # underscore-private helper base
+            if "ABC" in _base_names(node) or _has_abstract_method(node):
+                continue
+            if node.name not in registered:
+                yield module.finding(
+                    node,
+                    spec.rule_id,
+                    f"concrete {spec.base} subclass `{node.name}` is not "
+                    f"registered in {spec.registry_module}::"
+                    f"{spec.registry_name}",
+                )

@@ -1,0 +1,163 @@
+"""RNG-discipline rules.
+
+Reproducibility of the paper's φ₁/ρ estimates requires every stochastic
+draw to flow through the seeded streams in :mod:`repro.rng`
+(``SeedSequence`` spawning). Three rules enforce the discipline:
+
+* ``RNG001`` — no direct ``np.random.*`` construction/seeding calls (and
+  no ``numpy.random`` imports) outside ``repro/rng.py``;
+* ``RNG002`` — no stdlib ``random`` anywhere in the library;
+* ``RNG003`` — a public module-level function that obtains a generator via
+  the :mod:`repro.rng` helpers must expose an ``rng``/``seed`` parameter,
+  so callers control the stream.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from .core import Finding, Module, Rule, dotted_name, register
+
+__all__ = ["RngConstructionRule", "StdlibRandomRule", "SeedPathRule"]
+
+#: The one module allowed to touch ``numpy.random`` directly.
+_RNG_MODULE = "rng.py"
+
+_NP_RANDOM_RE = re.compile(r"^(np|numpy)\.random(\.|$)")
+
+#: repro.rng helpers that hand out generators.
+_RNG_HELPERS = frozenset({"make_rng", "ensure_rng", "spawn_rngs", "rng_stream"})
+
+#: Parameter names that count as an externally controlled seed path.
+_SEED_PARAM_RE = re.compile(r"^(rng|rngs|seed|seeds)$|_(rng|seed)$")
+
+
+@register
+class RngConstructionRule(Rule):
+    id = "RNG001"
+    title = "no direct numpy.random use outside repro/rng.py"
+    rationale = (
+        "generators must be derived from the SeedSequence tree in repro.rng; "
+        "a stray default_rng/seed call silently forks the reproducibility story"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if module.pkgpath == _RNG_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and _NP_RANDOM_RE.match(name):
+                    yield module.finding(
+                        node,
+                        self.id,
+                        f"call to `{name}` outside repro/rng.py; route through "
+                        "repro.rng (ensure_rng/make_rng/spawn_rngs)",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("numpy.random"):
+                    yield module.finding(
+                        node,
+                        self.id,
+                        f"import from `{node.module}` outside repro/rng.py",
+                    )
+                elif node.module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "import of `numpy.random` outside repro/rng.py",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("numpy.random"):
+                        yield module.finding(
+                            node,
+                            self.id,
+                            f"import of `{alias.name}` outside repro/rng.py",
+                        )
+
+
+@register
+class StdlibRandomRule(Rule):
+    id = "RNG002"
+    title = "no stdlib random module"
+    rationale = (
+        "stdlib random uses hidden global state; all draws must come from "
+        "numpy Generators spawned in repro.rng"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield module.finding(
+                            node,
+                            self.id,
+                            "stdlib `random` import; use repro.rng generators",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                    node.module and node.module.startswith("random.")
+                ):
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "stdlib `random` import; use repro.rng generators",
+                    )
+
+
+@register
+class SeedPathRule(Rule):
+    id = "RNG003"
+    title = "stochastic public functions must accept rng/seed"
+    rationale = (
+        "a public function that draws randomness without an rng/seed "
+        "parameter cannot be made reproducible by its caller"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if module.pkgpath == _RNG_MODULE:
+            return
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            if not self._draws_randomness(stmt):
+                continue
+            if not any(
+                _SEED_PARAM_RE.search(param) for param in _param_names(stmt)
+            ):
+                yield module.finding(
+                    stmt,
+                    self.id,
+                    f"public function `{stmt.name}` obtains a generator from "
+                    "repro.rng but has no `rng`/`seed` parameter",
+                )
+
+    @staticmethod
+    def _draws_randomness(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[-1] in _RNG_HELPERS:
+                    return True
+        return False
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = func.args
+    params = [
+        arg.arg
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    return params

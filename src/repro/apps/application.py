@@ -16,7 +16,7 @@ models where serial iterations are heavier than parallel ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ModelError
 from ..pmf import PMF, amdahl_transform

@@ -17,7 +17,7 @@ Two views of execution time coexist, one per framework stage:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Mapping
 
 import numpy as np

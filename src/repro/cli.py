@@ -29,7 +29,6 @@ from .paper import (
     table_i_rows,
     table_iv_rows,
     table_v_rows,
-    table_vi_rows,
 )
 from .ra import HEURISTICS
 from .reporting import render_table

@@ -68,8 +68,8 @@ class _AWFSession(_WeightedSession):
 
     def __init__(
         self,
-        n_iterations,
-        workers,
+        n_iterations: int,
+        workers: list[WorkerState],
         factor: float,
         *,
         per_chunk: bool,
@@ -136,7 +136,9 @@ class AdaptiveWeightedFactoring(DLSTechnique):
         if self.factor <= 1.0:
             raise SchedulingError(f"factoring ratio must exceed 1, got {self.factor}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         session = _AWFSession(
             n_iterations, workers, self.factor, per_chunk=False, use_chunk_time=False
         )
@@ -159,7 +161,9 @@ class AWFBatch(DLSTechnique):
         if self.factor <= 1.0:
             raise SchedulingError(f"factoring ratio must exceed 1, got {self.factor}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _AWFSession(
             n_iterations, workers, self.factor, per_chunk=False, use_chunk_time=False
         )
@@ -177,7 +181,9 @@ class AWFChunk(DLSTechnique):
         if self.factor <= 1.0:
             raise SchedulingError(f"factoring ratio must exceed 1, got {self.factor}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _AWFSession(
             n_iterations, workers, self.factor, per_chunk=True, use_chunk_time=False
         )
@@ -195,7 +201,9 @@ class AWFBatchChunkTime(DLSTechnique):
         if self.factor <= 1.0:
             raise SchedulingError(f"factoring ratio must exceed 1, got {self.factor}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _AWFSession(
             n_iterations, workers, self.factor, per_chunk=False, use_chunk_time=True
         )
@@ -213,7 +221,9 @@ class AWFChunkChunkTime(DLSTechnique):
         if self.factor <= 1.0:
             raise SchedulingError(f"factoring ratio must exceed 1, got {self.factor}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _AWFSession(
             n_iterations, workers, self.factor, per_chunk=True, use_chunk_time=True
         )
@@ -225,7 +235,9 @@ class AWFChunkChunkTime(DLSTechnique):
 class _AFSession(SchedulingSession):
     """Adaptive factoring: chunk sizes from measured (mu_i, sigma_i^2)."""
 
-    def __init__(self, n_iterations, workers, pilot_factor: float) -> None:
+    def __init__(
+        self, n_iterations: int, workers: list[WorkerState], pilot_factor: float
+    ) -> None:
         super().__init__(n_iterations, workers)
         self._pilot_factor = pilot_factor
 
@@ -266,5 +278,7 @@ class AdaptiveFactoring(DLSTechnique):
                 f"pilot factor must exceed 1, got {self.pilot_factor}"
             )
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _AFSession(n_iterations, workers, self.pilot_factor)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SchedulingError
+from ..rng import ensure_rng
 from .base import DLSTechnique, WorkerState
 
 __all__ = ["ChunkProfile", "chunk_profile", "overhead_fraction"]
@@ -70,7 +71,7 @@ def chunk_profile(
         raise SchedulingError("need >= 1 iteration and >= 1 worker")
     workers = [WorkerState(worker_id=i) for i in range(n_workers)]
     session = technique.session(n_iterations, workers)
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     sizes: list[int] = []
     done: set[int] = set()
     w = 0

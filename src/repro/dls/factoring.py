@@ -35,7 +35,9 @@ class _BatchedSession(SchedulingSession):
     iterations still unscheduled.
     """
 
-    def __init__(self, n_iterations, workers, factor: float) -> None:
+    def __init__(
+        self, n_iterations: int, workers: list[WorkerState], factor: float
+    ) -> None:
         super().__init__(n_iterations, workers)
         self._factor = factor
         self._batch_quota = 0  # chunks left to hand out in the current batch
@@ -83,7 +85,9 @@ class Factoring(DLSTechnique):
                 f"factoring ratio must exceed 1, got {self.factor}"
             )
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _FactoringSession(n_iterations, workers, self.factor)
 
 
@@ -120,7 +124,9 @@ class _ProbabilisticFactoringSession(_BatchedSession):
     variation.
     """
 
-    def __init__(self, n_iterations, workers, prior_cv: float) -> None:
+    def __init__(
+        self, n_iterations: int, workers: list[WorkerState], prior_cv: float
+    ) -> None:
         # factor is recomputed per batch; base-class value is a placeholder.
         super().__init__(n_iterations, workers, factor=2.0)
         self._prior_cv = prior_cv
@@ -178,7 +184,9 @@ class ProbabilisticFactoring(DLSTechnique):
                 f"prior_cv must be >= 0, got {self.prior_cv}"
             )
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _ProbabilisticFactoringSession(
             n_iterations, workers, self.prior_cv
         )
@@ -198,5 +206,7 @@ class WeightedFactoring(DLSTechnique):
                 f"factoring ratio must exceed 1, got {self.factor}"
             )
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _WeightedSession(n_iterations, workers, self.factor)

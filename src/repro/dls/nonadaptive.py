@@ -77,7 +77,9 @@ class Static(DLSTechnique):
     name: str = "STATIC"
     adaptive: bool = False
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _StaticSession(n_iterations, workers)
 
 
@@ -85,7 +87,9 @@ class Static(DLSTechnique):
 
 
 class _ConstantChunkSession(SchedulingSession):
-    def __init__(self, n_iterations, workers, chunk: int) -> None:
+    def __init__(
+        self, n_iterations: int, workers: list[WorkerState], chunk: int
+    ) -> None:
         super().__init__(n_iterations, workers)
         self._chunk = chunk
 
@@ -100,7 +104,9 @@ class SelfScheduling(DLSTechnique):
     name: str = "SS"
     adaptive: bool = False
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _ConstantChunkSession(n_iterations, workers, 1)
 
 
@@ -141,7 +147,9 @@ class FixedSizeChunking(DLSTechnique):
             return max(1, round(k))
         return max(1, math.ceil(n / (4 * p)))
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _ConstantChunkSession(
             n_iterations, workers, self._resolved_chunk(n_iterations, len(workers))
         )
@@ -163,7 +171,9 @@ class ModifiedFSC(DLSTechnique):
     name: str = "mFSC"
     adaptive: bool = False
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         p = len(workers)
         batches = max(1.0, math.ceil(math.log2(max(n_iterations / p, 1.0)) + 1))
         chunk = max(1, math.ceil(n_iterations / (p * batches)))
@@ -185,7 +195,9 @@ class Guided(DLSTechnique):
     name: str = "GSS"
     adaptive: bool = False
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         return _GuidedSession(n_iterations, workers)
 
 
@@ -193,7 +205,9 @@ class Guided(DLSTechnique):
 
 
 class _TrapezoidSession(SchedulingSession):
-    def __init__(self, n_iterations, workers, first: int, last: int) -> None:
+    def __init__(
+        self, n_iterations: int, workers: list[WorkerState], first: int, last: int
+    ) -> None:
         super().__init__(n_iterations, workers)
         self._next_size = float(first)
         self._last = last
@@ -214,7 +228,9 @@ class _TrapezoidFactoringSession(SchedulingSession):
     TSS's linear decrease instead of FAC's geometric halving.
     """
 
-    def __init__(self, n_iterations, workers, first: int, last: int) -> None:
+    def __init__(
+        self, n_iterations: int, workers: list[WorkerState], first: int, last: int
+    ) -> None:
         super().__init__(n_iterations, workers)
         self._next_size = float(first)
         self._last = last
@@ -250,7 +266,9 @@ class TrapezoidFactoring(DLSTechnique):
         if self.last < 1:
             raise SchedulingError(f"last chunk must be >= 1, got {self.last}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         first = self.first
         if first is None:
             first = max(self.last, math.ceil(n_iterations / (2 * len(workers))))
@@ -272,7 +290,9 @@ class Trapezoid(DLSTechnique):
         if self.last < 1:
             raise SchedulingError(f"last chunk must be >= 1, got {self.last}")
 
-    def session(self, n_iterations, workers):
+    def session(
+        self, n_iterations: int, workers: list[WorkerState]
+    ) -> SchedulingSession:
         first = self.first
         if first is None:
             first = max(self.last, math.ceil(n_iterations / (2 * len(workers))))

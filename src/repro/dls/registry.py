@@ -8,6 +8,8 @@ stage II; :data:`ALL_TECHNIQUES` adds the survey/extension techniques.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..errors import SchedulingError
 from .base import DLSTechnique
 from .nonadaptive import (
@@ -63,7 +65,7 @@ ROBUST_SET: tuple[str, ...] = ("FAC", "WF", "AWF-B", "AF")
 PAPER_TECHNIQUES: tuple[str, ...] = ("STATIC",) + ROBUST_SET
 
 
-def make_technique(name: str, **kwargs) -> DLSTechnique:
+def make_technique(name: str, **kwargs: Any) -> DLSTechnique:
     """Instantiate a technique by its literature name.
 
     ``kwargs`` are forwarded to the technique's constructor (e.g.

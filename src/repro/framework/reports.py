@@ -101,7 +101,7 @@ def format_full_report(result: CDSFResult, *, chart: bool = False) -> str:
         title="Per-case tolerability",
     )
     rho = (
-        f"System robustness: (rho1, rho2) = "
+        "System robustness: (rho1, rho2) = "
         f"({result.robustness.rho1:.2%}, {result.robustness.rho2:.2f}%)"
     )
     return "\n\n".join(

@@ -23,7 +23,6 @@ from ..dls import ROBUST_SET
 from ..ra import EqualShareAllocator, ExhaustiveAllocator, RAHeuristic
 from ..system import HeterogeneousSystem
 from .cdsf import CDSF, CDSFResult
-from .study import StudyConfig
 
 __all__ = ["Scenario", "ScenarioSpec", "run_scenario", "run_all_scenarios"]
 

@@ -19,6 +19,24 @@ phi_1, rho) used by the regression tests and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+__all__ = [
+    "DEADLINE",
+    "PROCESSOR_COUNTS",
+    "AVAILABILITY_CASES",
+    "CASE_ORDER",
+    "EXPECTED_AVAILABILITY",
+    "WEIGHTED_AVAILABILITY",
+    "AVAILABILITY_DECREASE",
+    "APPLICATIONS",
+    "MEAN_EXEC_TIMES",
+    "EXEC_TIME_CV",
+    "TABLE_IV",
+    "PHI1",
+    "TABLE_V",
+    "TABLE_VI",
+    "RHO",
+]
+
 #: System deadline Delta (time units).
 DEADLINE: float = 3_250.0
 

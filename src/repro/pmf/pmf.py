@@ -14,10 +14,11 @@ operations return new instances.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..contracts import check_pmf_canonical, contracts_enabled
 from ..errors import PMFError
 
 __all__ = ["PMF", "PROB_TOL"]
@@ -116,6 +117,8 @@ class PMF:
         p = p / p.sum()
         v.setflags(write=False)
         p.setflags(write=False)
+        if contracts_enabled():
+            check_pmf_canonical(v, p)
         self._values = v
         self._probs = p
 
@@ -181,13 +184,15 @@ class PMF:
         idx = min(idx, len(self._values) - 1)
         return float(self._values[idx])
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         """Draw iid samples from the PMF."""
         return rng.choice(self._values, size=size, p=self._probs)
 
     # ------------------------------------------------------------ structural
 
-    def map_values(self, fn) -> "PMF":
+    def map_values(self, fn: Callable[[np.ndarray], np.ndarray]) -> "PMF":
         """Apply a (not necessarily monotone) function to the support.
 
         Probabilities are carried over unchanged and colliding images are

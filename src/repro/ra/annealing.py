@@ -18,7 +18,6 @@ import math
 
 import numpy as np
 
-from ..errors import InfeasibleAllocationError
 from ..rng import ensure_rng
 from ..system import ProcessorGroup
 from .allocation import Allocation, candidate_assignments
@@ -134,7 +133,7 @@ class AnnealingAllocator(RAHeuristic):
         prob = 1.0
         for name, group in state.items():
             prob *= evaluator.app_deadline_prob(name, group)
-            if prob == 0.0:
+            if prob <= 0.0:
                 break
         return prob
 

@@ -139,7 +139,7 @@ class GeneticAllocator(RAHeuristic):
             prob = 1.0
             for name, group in state.items():
                 prob *= evaluator.app_deadline_prob(name, group)
-                if prob == 0.0:
+                if prob <= 0.0:
                     break
             return prob
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..apps import Application, Batch
+from ..contracts import check_allocation_feasible, contracts_enabled
 from ..pmf import PMF, dilate_by_availability
 from ..system import HeterogeneousSystem, ProcessorGroup
 from .allocation import Allocation
@@ -112,10 +113,12 @@ class StageIEvaluator:
 
     def robustness(self, allocation: Allocation) -> float:
         """phi_1 of an allocation: joint deadline probability."""
+        if contracts_enabled():
+            check_allocation_feasible(allocation, self._system, self._batch)
         prob = 1.0
         for app_name, group in allocation.items():
             prob *= self.app_deadline_prob(app_name, group)
-            if prob == 0.0:
+            if prob <= 0.0:
                 break
         return prob
 

@@ -8,9 +8,8 @@ dragging chunks, serial prologue).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
 
-from ..sim.results import AppRunResult, ChunkRecord
+from ..sim.results import AppRunResult
 
 __all__ = ["render_gantt"]
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from ..contracts import check_event_monotone, contracts_enabled
 from ..errors import SimulationError
 from .events import EventQueue
 
@@ -61,6 +62,8 @@ class Simulator:
         if not self._queue:
             return False
         event = self._queue.pop()
+        if contracts_enabled():
+            check_event_monotone(self._now, event.time)
         self._now = event.time
         self._processed += 1
         event.payload(self)

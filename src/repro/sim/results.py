@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -143,7 +143,7 @@ class ReplicatedAppStats:
         if n < 2:
             return (mean, mean)
         sem = float(arr.std(ddof=1)) / np.sqrt(n)
-        if sem == 0.0:
+        if sem <= 0.0:
             return (mean, mean)
         t = float(_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
         return (mean - t * sem, mean + t * sem)

@@ -120,7 +120,6 @@ class TestDegradationSweep:
         result = cdsf.run(GreedyRobustAllocator(), cases, ["FAC", "AF"])
         verdicts = result.stage_ii.tolerable_cases()
         order = [f"f{int(100 * f)}" for f in factors]
-        seen_false = False
         # Tolerability is (statistically) monotone; tolerate one inversion
         # from simulation noise by checking the first-failure prefix rule
         # loosely: once two consecutive cases fail, no later case succeeds.

@@ -10,7 +10,6 @@ from repro.framework import MultiBatchScheduler
 from repro.ra import GreedyRobustAllocator
 from repro.sim import LoopSimConfig, simulate_timestepped
 from repro.system import (
-    ConstantAvailability,
     HeterogeneousSystem,
     ProcessorType,
     SharedLoadModulator,

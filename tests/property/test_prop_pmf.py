@@ -6,7 +6,7 @@ dominance properties of the paper's transforms.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.pmf import (

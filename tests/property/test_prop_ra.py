@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.apps import Application, Batch, normal_exectime_model
 from repro.pmf import PMF
 from repro.ra import (
-    EqualShareAllocator,
     ExhaustiveAllocator,
     GreedyRobustAllocator,
     MaxMinAllocator,

@@ -16,7 +16,6 @@ from repro.system import (
     ConstantAvailability,
     HeterogeneousSystem,
     ProcessorType,
-    ResampledAvailability,
 )
 
 

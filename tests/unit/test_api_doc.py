@@ -1,6 +1,5 @@
 """Guards that docs/api.md stays in sync with the public API."""
 
-import subprocess
 import sys
 from pathlib import Path
 

@@ -12,7 +12,6 @@ from repro.apps import (
     random_system,
 )
 from repro.errors import ModelError
-from repro.pmf import percent_availability
 
 
 class TestWorkloadSpec:

@@ -6,7 +6,6 @@ from repro.apps import Application, Batch, normal_exectime_model, random_instanc
 from repro.dls import ALL_TECHNIQUES
 from repro.errors import ModelError
 from repro.framework import InstanceFeatures, extract_features, recommend
-from repro.pmf import percent_availability
 from repro.ra import HEURISTICS
 from repro.system import HeterogeneousSystem, ProcessorType
 

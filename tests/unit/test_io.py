@@ -18,7 +18,6 @@ from repro.io import (
     system_from_dict,
     system_to_dict,
 )
-from repro.pmf import joint_prob_leq
 from repro.ra import ExhaustiveAllocator, StageIEvaluator
 
 

@@ -1,0 +1,506 @@
+"""Tests for the invariant linter (repro._lint).
+
+One deliberately-broken and one clean fixture per rule, a suppression
+test, CLI exit-code checks, and — the acceptance gate — a run over the
+real ``src`` tree asserting zero findings.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro._lint import known_ids, lint_sources, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def rule_ids(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------- RNG rules
+
+
+class TestRngConstruction:
+    def test_flags_default_rng_outside_rng_module(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "import numpy as np\n"
+                    "def draw(seed):\n"
+                    "    gen = np.random.default_rng(seed)\n"
+                    "    return gen\n"
+                )
+            },
+            select=["RNG001"],
+        )
+        assert rule_ids(findings) == ["RNG001"]
+        assert findings[0].line == 3
+
+    def test_flags_numpy_random_import(self):
+        findings = lint_sources(
+            {"ra/foo.py": "from numpy.random import default_rng\n"},
+            select=["RNG001"],
+        )
+        assert rule_ids(findings) == ["RNG001"]
+
+    def test_flags_legacy_global_draws(self):
+        findings = lint_sources(
+            {"apps/foo.py": "import numpy as np\nx = np.random.normal()\n"},
+            select=["RNG001"],
+        )
+        assert rule_ids(findings) == ["RNG001"]
+
+    def test_rng_module_itself_is_exempt(self):
+        findings = lint_sources(
+            {
+                "rng.py": (
+                    "import numpy as np\n"
+                    "def make_rng(seed):\n"
+                    "    return np.random.default_rng(seed)\n"
+                )
+            },
+            select=["RNG001"],
+        )
+        assert findings == []
+
+    def test_clean_module_passes(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "from ..rng import ensure_rng\n"
+                    "def draw(seed):\n"
+                    "    return ensure_rng(seed)\n"
+                )
+            },
+            select=["RNG001"],
+        )
+        assert findings == []
+
+
+class TestStdlibRandom:
+    def test_flags_import_random(self):
+        findings = lint_sources(
+            {"framework/foo.py": "import random\n"}, select=["RNG002"]
+        )
+        assert rule_ids(findings) == ["RNG002"]
+
+    def test_flags_from_random_import(self):
+        findings = lint_sources(
+            {"framework/foo.py": "from random import shuffle\n"},
+            select=["RNG002"],
+        )
+        assert rule_ids(findings) == ["RNG002"]
+
+    def test_unrelated_module_names_pass(self):
+        findings = lint_sources(
+            {
+                "framework/foo.py": (
+                    "import randomness_helper\n"
+                    "from my.random_walks import walk\n"
+                )
+            },
+            select=["RNG002"],
+        )
+        assert findings == []
+
+
+class TestSeedPath:
+    def test_flags_public_function_without_seed_param(self):
+        findings = lint_sources(
+            {
+                "apps/foo.py": (
+                    "from ..rng import make_rng\n"
+                    "def generate(n):\n"
+                    "    gen = make_rng(None)\n"
+                    "    return gen.normal(size=n)\n"
+                )
+            },
+            select=["RNG003"],
+        )
+        assert rule_ids(findings) == ["RNG003"]
+
+    def test_seed_or_rng_param_passes(self):
+        findings = lint_sources(
+            {
+                "apps/foo.py": (
+                    "from ..rng import ensure_rng\n"
+                    "def generate(n, *, rng=None):\n"
+                    "    return ensure_rng(rng)\n"
+                    "def replicate(n, seed=0):\n"
+                    "    return ensure_rng(seed)\n"
+                )
+            },
+            select=["RNG003"],
+        )
+        assert findings == []
+
+    def test_private_functions_exempt(self):
+        findings = lint_sources(
+            {
+                "apps/foo.py": (
+                    "from ..rng import make_rng\n"
+                    "def _helper():\n"
+                    "    return make_rng(None)\n"
+                )
+            },
+            select=["RNG003"],
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------ PMF immutability
+
+
+class TestPmfImmutability:
+    def test_flags_item_assignment(self):
+        findings = lint_sources(
+            {"framework/foo.py": "def f(pmf):\n    pmf.values[0] = 1.0\n"},
+            select=["PMF001"],
+        )
+        assert rule_ids(findings) == ["PMF001"]
+
+    def test_flags_augmented_assignment(self):
+        findings = lint_sources(
+            {"framework/foo.py": "def f(pmf, i):\n    pmf.probs[i] += 0.1\n"},
+            select=["PMF001"],
+        )
+        assert rule_ids(findings) == ["PMF001"]
+
+    def test_flags_setflags_and_inplace_ufunc(self):
+        findings = lint_sources(
+            {
+                "framework/foo.py": (
+                    "import numpy as np\n"
+                    "def f(pmf, idx, x):\n"
+                    "    pmf.probs.setflags(write=True)\n"
+                    "    np.add.at(pmf.probs, idx, x)\n"
+                )
+            },
+            select=["PMF001"],
+        )
+        assert rule_ids(findings) == ["PMF001", "PMF001"]
+
+    def test_flags_private_attribute_rebinding(self):
+        findings = lint_sources(
+            {"framework/foo.py": "def f(pmf, v):\n    pmf._values = v\n"},
+            select=["PMF001"],
+        )
+        assert rule_ids(findings) == ["PMF001"]
+
+    def test_reads_pass(self):
+        findings = lint_sources(
+            {
+                "framework/foo.py": (
+                    "def f(pmf):\n"
+                    "    a = pmf.values[0] + pmf.probs[-1]\n"
+                    "    b = pmf.values[:, None]\n"
+                    "    return a, b\n"
+                )
+            },
+            select=["PMF001"],
+        )
+        assert findings == []
+
+    def test_owner_module_is_exempt(self):
+        findings = lint_sources(
+            {"pmf/pmf.py": "def f(self, v):\n    self._values = v\n"},
+            select=["PMF001"],
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------- registry completeness
+
+
+_DLS_BASE = (
+    "from abc import ABC, abstractmethod\n"
+    "class DLSTechnique(ABC):\n"
+    "    @abstractmethod\n"
+    "    def session(self, n, workers): ...\n"
+)
+
+_RA_BASE = (
+    "from abc import ABC, abstractmethod\n"
+    "class RAHeuristic(ABC):\n"
+    "    @abstractmethod\n"
+    "    def allocate(self, evaluator): ...\n"
+)
+
+
+class TestRegistryCompleteness:
+    def test_flags_unregistered_technique(self):
+        findings = lint_sources(
+            {
+                "dls/base.py": _DLS_BASE,
+                "dls/shiny.py": (
+                    "from .base import DLSTechnique\n"
+                    "class Shiny(DLSTechnique):\n"
+                    "    def session(self, n, workers): ...\n"
+                ),
+                "dls/registry.py": "ALL_TECHNIQUES = {}\n",
+            },
+            select=["REG001"],
+        )
+        assert rule_ids(findings) == ["REG001"]
+        assert "Shiny" in findings[0].message
+
+    def test_registered_technique_passes(self):
+        findings = lint_sources(
+            {
+                "dls/base.py": _DLS_BASE,
+                "dls/shiny.py": (
+                    "from .base import DLSTechnique\n"
+                    "class Shiny(DLSTechnique):\n"
+                    "    def session(self, n, workers): ...\n"
+                ),
+                "dls/registry.py": (
+                    "from .shiny import Shiny\n"
+                    'ALL_TECHNIQUES = {"SHINY": Shiny}\n'
+                ),
+            },
+            select=["REG001"],
+        )
+        assert findings == []
+
+    def test_private_helper_bases_exempt(self):
+        findings = lint_sources(
+            {
+                "dls/base.py": _DLS_BASE,
+                "dls/helpers.py": (
+                    "from .base import DLSTechnique\n"
+                    "class _HelperBase(DLSTechnique):\n"
+                    "    def session(self, n, workers): ...\n"
+                ),
+                "dls/registry.py": "ALL_TECHNIQUES = {}\n",
+            },
+            select=["REG001"],
+        )
+        assert findings == []
+
+    def test_flags_unregistered_heuristic_dictcomp(self):
+        findings = lint_sources(
+            {
+                "ra/base.py": _RA_BASE,
+                "ra/fast.py": (
+                    "from .base import RAHeuristic\n"
+                    "class FastAllocator(RAHeuristic):\n"
+                    '    name = "fast"\n'
+                    "    def allocate(self, evaluator): ...\n"
+                ),
+                "ra/slow.py": (
+                    "from .base import RAHeuristic\n"
+                    "class SlowAllocator(RAHeuristic):\n"
+                    '    name = "slow"\n'
+                    "    def allocate(self, evaluator): ...\n"
+                ),
+                "ra/__init__.py": (
+                    "from .fast import FastAllocator\n"
+                    "from .slow import SlowAllocator\n"
+                    "HEURISTICS = {cls.name: cls for cls in (FastAllocator,)}\n"
+                    '__all__ = ["FastAllocator", "SlowAllocator", "HEURISTICS"]\n'
+                ),
+            },
+            select=["REG002"],
+        )
+        assert rule_ids(findings) == ["REG002"]
+        assert "SlowAllocator" in findings[0].message
+
+    def test_missing_registry_module_skips_spec(self):
+        findings = lint_sources(
+            {
+                "dls/base.py": _DLS_BASE,
+                "dls/shiny.py": (
+                    "from .base import DLSTechnique\n"
+                    "class Shiny(DLSTechnique):\n"
+                    "    def session(self, n, workers): ...\n"
+                ),
+            },
+            select=["REG001"],
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------- float equality
+
+
+class TestFloatEquality:
+    def test_flags_equality_in_numeric_packages(self):
+        findings = lint_sources(
+            {"sim/foo.py": "def f(t):\n    return t == 1.0\n"},
+            select=["FLT001"],
+        )
+        assert rule_ids(findings) == ["FLT001"]
+
+    def test_flags_zero_comparison(self):
+        findings = lint_sources(
+            {"ra/foo.py": "def f(prob):\n    return prob != 0.0\n"},
+            select=["FLT001"],
+        )
+        assert rule_ids(findings) == ["FLT001"]
+
+    def test_ordering_passes(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "def f(t, prob):\n"
+                    "    return t <= 1.0 and prob > 0.0 and t == 3\n"
+                )
+            },
+            select=["FLT001"],
+        )
+        assert findings == []
+
+    def test_other_packages_out_of_scope(self):
+        findings = lint_sources(
+            {"apps/foo.py": "def f(cv):\n    return cv == 0.0\n"},
+            select=["FLT001"],
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------------- __all__
+
+
+class TestDunderAll:
+    def test_flags_missing_all(self):
+        findings = lint_sources(
+            {"metrics/foo.py": "def public_fn():\n    return 1\n"},
+            select=["ALL001"],
+        )
+        assert rule_ids(findings) == ["ALL001"]
+
+    def test_flags_unresolvable_entry(self):
+        findings = lint_sources(
+            {
+                "metrics/foo.py": (
+                    '__all__ = ["exists", "missing"]\n'
+                    "def exists():\n    return 1\n"
+                )
+            },
+            select=["ALL002"],
+        )
+        assert rule_ids(findings) == ["ALL002"]
+        assert "missing" in findings[0].message
+
+    def test_flags_duplicate_entry(self):
+        findings = lint_sources(
+            {
+                "metrics/foo.py": (
+                    '__all__ = ["exists", "exists"]\n'
+                    "def exists():\n    return 1\n"
+                )
+            },
+            select=["ALL003"],
+        )
+        assert rule_ids(findings) == ["ALL003"]
+
+    def test_clean_module_passes(self):
+        findings = lint_sources(
+            {
+                "metrics/foo.py": (
+                    '__all__ = ["public_fn", "CONST"]\n'
+                    "CONST = 3\n"
+                    "def public_fn():\n    return CONST\n"
+                )
+            }
+        )
+        assert findings == []
+
+    def test_private_modules_exempt(self):
+        findings = lint_sources(
+            {
+                "_internal/foo.py": "def f():\n    return 1\n",
+                "metrics/_helper.py": "def f():\n    return 1\n",
+                "__main__.py": "def f():\n    return 1\n",
+            },
+            select=["ALL001"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------- framework
+
+
+class TestFramework:
+    def test_pragma_suppresses_finding(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "def f(t):\n"
+                    "    return t == 1.0  # lint: skip=FLT001\n"
+                )
+            },
+            select=["FLT001"],
+        )
+        assert findings == []
+
+    def test_unknown_select_id_raises(self):
+        with pytest.raises(KeyError):
+            lint_sources({"sim/foo.py": "x = 1\n"}, select=["NOPE999"])
+
+    def test_findings_sorted_and_renderable(self):
+        findings = lint_sources(
+            {
+                "sim/b.py": "def f(t):\n    return t == 1.0\n",
+                "sim/a.py": "def f(t):\n    return t == 2.0\n",
+            },
+            select=["FLT001"],
+        )
+        assert [f.path for f in findings] == ["sim/a.py", "sim/b.py"]
+        assert findings[0].render().startswith("sim/a.py:2:")
+
+    def test_known_ids_cover_documented_rules(self):
+        assert {
+            "RNG001",
+            "RNG002",
+            "RNG003",
+            "PMF001",
+            "REG001",
+            "REG002",
+            "FLT001",
+            "ALL001",
+            "ALL002",
+            "ALL003",
+        } <= known_ids()
+
+
+# ----------------------------------------------------------- acceptance gate
+
+
+class TestRealTree:
+    def test_src_tree_is_clean(self):
+        assert SRC_DIR.is_dir()
+        findings = run_lint([SRC_DIR])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exit_codes(self):
+        clean = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint_invariants.py"), "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    def test_cli_flags_violation(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(t):\n    return t == 1.0\n")
+        run = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "lint_invariants.py"),
+                str(bad),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert run.returncode == 1
+        assert "FLT001" in run.stdout

@@ -1,6 +1,5 @@
 """Unit + property tests of first-order stochastic dominance (repro.pmf)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,9 +1,7 @@
 """Unit tests of the loop-scheduling simulation (repro.sim.loopsim)."""
 
-import numpy as np
 import pytest
 
-from repro.apps import Application, normal_exectime_model
 from repro.dls import ALL_TECHNIQUES, make_technique
 from repro.errors import SimulationError
 from repro.sim import (
@@ -13,8 +11,6 @@ from repro.sim import (
 )
 from repro.system import (
     ConstantAvailability,
-    HeterogeneousSystem,
-    ProcessorType,
     TraceAvailability,
 )
 

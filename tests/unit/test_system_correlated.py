@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ModelError
 from repro.system import (
     ConstantAvailability,
-    ModulatedAvailability,
     ResampledAvailability,
     SharedLoadModulator,
 )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.pmf import deterministic, percent_availability
+from repro.pmf import deterministic
 from repro.system import Processor, ProcessorType
 
 

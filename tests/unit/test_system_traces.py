@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.pmf import percent_availability
 from repro.system import (
     ConstantAvailability,
     ResampledAvailability,
