@@ -10,6 +10,15 @@ Usage (also via ``python -m repro``)::
     python -m repro heuristics                  # list RA heuristics
     python -m repro recommend [--synthetic N]   # policy advisor
     python -m repro export instance.json        # save the paper instance
+
+Observability (the flags come *before* the subcommand)::
+
+    python -m repro --trace run.jsonl scenario 4    # JSONL span/metric trace
+    python -m repro --metrics robustness            # metrics summary tables
+    python -m repro --log-level debug tables        # diagnostics on stderr
+
+All deliverable output goes to stdout through :func:`repro.obs.console`;
+diagnostics go to the ``repro`` logger on stderr.
 """
 
 from __future__ import annotations
@@ -19,7 +28,15 @@ import sys
 from collections.abc import Sequence
 
 from .dls import ALL_TECHNIQUES
-from .framework import Scenario, run_scenario
+from .framework import Scenario, format_observability, run_scenario
+from .obs import (
+    configure_logging,
+    console,
+    current,
+    metrics_snapshot,
+    obs_enabled,
+    observed,
+)
 from .paper import (
     data,
     figure_series,
@@ -47,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CDSF reproduction: regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a JSONL span/metric trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print an observability metrics summary after the command",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable repro's stderr logging at the given level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -98,8 +128,8 @@ def _sim_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _print(text: str) -> None:
-    print(text)
-    print()
+    console(text)
+    console()
 
 
 def _cmd_tables() -> int:
@@ -207,7 +237,7 @@ def _cmd_scenario(args) -> int:
             title=f"Scenario {args.number}: {_SCENARIOS[args.number].name}",
         )
     )
-    print(
+    console(
         f"(rho1, rho2) = ({result.robustness.rho1:.1%}, "
         f"{result.robustness.rho2:.2f}%)"
     )
@@ -239,7 +269,7 @@ def _cmd_robustness(args) -> int:
             title="Table VI (best deadline-meeting DLS)",
         )
     )
-    print(
+    console(
         f"measured (rho1, rho2) = ({100 * result.robustness.rho1:.2f}%, "
         f"{result.robustness.rho2:.2f}%)  |  paper: "
         f"({data.RHO[0]}%, {data.RHO[1]}%)"
@@ -247,8 +277,7 @@ def _cmd_robustness(args) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "tables":
         return _cmd_tables()
     if args.command == "figure":
@@ -261,11 +290,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name, cls in sorted(ALL_TECHNIQUES.items()):
             tech = cls()
             kind = "adaptive" if tech.adaptive else "non-adaptive"
-            print(f"{name:8s} {kind:14s} {cls.__doc__.strip().splitlines()[0]}")
+            console(f"{name:8s} {kind:14s} {cls.__doc__.strip().splitlines()[0]}")
         return 0
     if args.command == "heuristics":
         for name, cls in sorted(HEURISTICS.items()):
-            print(f"{name:22s} {cls.__doc__.strip().splitlines()[0]}")
+            console(f"{name:22s} {cls.__doc__.strip().splitlines()[0]}")
         return 0
     if args.command == "recommend":
         return _cmd_recommend(args)
@@ -280,9 +309,40 @@ def main(argv: Sequence[str] | None = None) -> int:
             deadline=data.DEADLINE,
             metadata={"source": "Ciorba et al., IPDPS-W 2012, SS IV example"},
         )
-        print(f"wrote {path}")
+        console(f"wrote {path}")
         return 0
     return 2  # pragma: no cover - argparse enforces choices
+
+
+def _finish_observed(args) -> None:
+    """Print the metrics summary / trace location for an observed run."""
+    if args.metrics:
+        _print(format_observability(metrics_snapshot()))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level)
+    if not (args.trace or args.metrics):
+        return _dispatch(args)
+    if obs_enabled():
+        # An observation session is already active (REPRO_OBS env gate):
+        # reuse it rather than splitting the trace across two sessions.
+        session = current()
+        assert session is not None
+        code = _dispatch(args)
+        _finish_observed(args)
+        if args.trace:
+            session.export(args.trace)
+            console(f"wrote trace to {args.trace}")
+        return code
+    with observed(trace_path=args.trace):
+        code = _dispatch(args)
+        _finish_observed(args)
+    if args.trace:
+        console(f"wrote trace to {args.trace}")
+    return code
 
 
 def _cmd_recommend(args) -> int:
@@ -301,17 +361,17 @@ def _cmd_recommend(args) -> int:
         label = "paper instance"
     features = extract_features(batch, system, overhead=1.0)
     rec = recommend(features)
-    print(f"Instance: {label}")
-    print(
+    console(f"Instance: {label}")
+    console(
         f"  {features.n_apps} applications, {features.total_processors} "
         f"processors in {features.n_types} types; allocation space bound "
         f"{features.allocation_space_bound:.3g}; availability cv "
         f"{features.availability_cv:.2f}"
     )
-    print(f"Stage I : {rec.stage1}")
-    print(f"Stage II: {rec.stage2}")
+    console(f"Stage I : {rec.stage1}")
+    console(f"Stage II: {rec.stage2}")
     for why in rec.rationale:
-        print(f"  - {why}")
+        console(f"  - {why}")
     return 0
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "require",
     "check_pmf_canonical",
     "check_event_monotone",
+    "check_span_monotone",
     "check_allocation_feasible",
 ]
 
@@ -136,6 +137,32 @@ def check_event_monotone(now: float, event_time: float) -> None:
         f"event queue yielded time {event_time} before clock {now}; "
         "the simulator clock must be monotone",
     )
+
+
+def check_span_monotone(
+    name: str,
+    start: float,
+    end: float,
+    *,
+    parent_name: str | None = None,
+    parent_start: float | None = None,
+) -> None:
+    """Trace-shape contract for a span the tracer is about to close.
+
+    A span never ends before it starts, and a child span never starts
+    before its (still open) parent did — together with the monotone span
+    clock this keeps every child interval nested within its parent's.
+    """
+    require(
+        end >= start,
+        f"span {name!r} ends at {end} before it starts at {start}",
+    )
+    if parent_start is not None:
+        require(
+            start >= parent_start,
+            f"child span {name!r} starts at {start} before its parent "
+            f"{parent_name!r} started at {parent_start}",
+        )
 
 
 def check_allocation_feasible(

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SchedulingError
+from ..obs import obs_enabled, observe_value
 
 __all__ = ["WorkerState", "SchedulingSession", "DLSTechnique"]
 
@@ -124,6 +125,8 @@ class SchedulingSession(ABC):
         self._remaining -= size
         self._scheduled += size
         self._chunk_log.append((worker_id, size))
+        if obs_enabled():
+            observe_value("dls.chunk_size", float(size))
         return size
 
     @abstractmethod

@@ -15,6 +15,7 @@ __all__ = [
     "InfeasibleAllocationError",
     "SchedulingError",
     "SimulationError",
+    "ObservabilityError",
 ]
 
 
@@ -44,3 +45,7 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer (:mod:`repro.obs`) was misused."""

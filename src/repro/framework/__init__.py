@@ -14,7 +14,12 @@ from .sensitivity import (
     analytic_tolerance,
 )
 from .multibatch import BatchOutcome, MultiBatchResult, MultiBatchScheduler
-from .reports import format_stage_i, format_stage_ii, format_full_report
+from .reports import (
+    format_stage_i,
+    format_stage_ii,
+    format_full_report,
+    format_observability,
+)
 from .fepia import RadiusReport, per_type_radius, robustness_radii
 from .selector import InstanceFeatures, Recommendation, extract_features, recommend
 from .autotune import TechniqueSelection, select_techniques
@@ -45,6 +50,7 @@ __all__ = [
     "format_stage_i",
     "format_stage_ii",
     "format_full_report",
+    "format_observability",
     "RadiusReport",
     "per_type_radius",
     "robustness_radii",

@@ -17,12 +17,15 @@ from collections.abc import Mapping, Sequence
 from ..apps import Batch
 from ..dls import DLSTechnique
 from ..errors import ModelError
+from ..obs import gauge_set, get_logger, incr, obs_enabled, span
 from ..ra import AllocationReport, RAHeuristic, RAResult, StageIEvaluator
 from ..system import HeterogeneousSystem
 from .robustness import SystemRobustness, availability_decrease
 from .study import DLSStudy, StudyConfig, StudyResult
 
 __all__ = ["CDSF", "CDSFResult"]
+
+_log = get_logger("framework.cdsf")
 
 
 @dataclass(frozen=True)
@@ -90,7 +93,18 @@ class CDSF:
 
     def run_stage_i(self, heuristic: RAHeuristic) -> RAResult:
         """Initial mapping with the given RA heuristic."""
-        return heuristic.allocate(self._evaluator)
+        with span("cdsf.stage_i", heuristic=heuristic.name) as sp:
+            result = heuristic.allocate(self._evaluator)
+        if obs_enabled():
+            incr("cdsf.stage_i_runs")
+            gauge_set("cdsf.phi1", result.robustness)
+            if sp.duration is not None:
+                gauge_set("cdsf.stage_i_seconds", sp.duration)
+        _log.debug(
+            "stage I (%s): phi_1=%.4f after %d candidate evaluations",
+            heuristic.name, result.robustness, result.evaluations,
+        )
+        return result
 
     def run_stage_ii(
         self,
@@ -99,8 +113,21 @@ class CDSF:
         techniques: Sequence[str | DLSTechnique],
     ) -> StudyResult:
         """Runtime application scheduling study on the stage-I allocation."""
-        study = DLSStudy(self._batch, stage_i.allocation, self._config)
-        return study.run(cases, techniques)
+        with span(
+            "cdsf.stage_ii", cases=len(cases), techniques=len(techniques)
+        ) as sp:
+            study = DLSStudy(self._batch, stage_i.allocation, self._config)
+            result = study.run(cases, techniques)
+        if obs_enabled():
+            incr("cdsf.stage_ii_runs")
+            if sp.duration is not None:
+                gauge_set("cdsf.stage_ii_seconds", sp.duration)
+        _log.debug(
+            "stage II: %d cases x %d techniques x %d applications simulated",
+            len(result.case_ids), len(result.technique_names),
+            len(result.app_names),
+        )
+        return result
 
     def run(
         self,
@@ -111,21 +138,29 @@ class CDSF:
         """Full dual-stage run; see :class:`CDSFResult`."""
         if not cases:
             raise ModelError("need at least one runtime availability case")
-        stage_i = self.run_stage_i(heuristic)
-        report = self._evaluator.report(stage_i.allocation)
-        stage_ii = self.run_stage_ii(stage_i, cases, techniques)
-        decreases = {
-            case_id: availability_decrease(self._system, case_system)
-            for case_id, case_system in cases.items()
-        }
-        tolerable = stage_ii.tolerable_cases()
-        rho2 = max(
-            (
-                decreases[case_id]
-                for case_id, ok in tolerable.items()
-                if ok and decreases[case_id] > 0
-            ),
-            default=0.0,
+        with span("cdsf.run", heuristic=heuristic.name):
+            stage_i = self.run_stage_i(heuristic)
+            report = self._evaluator.report(stage_i.allocation)
+            stage_ii = self.run_stage_ii(stage_i, cases, techniques)
+            decreases = {
+                case_id: availability_decrease(self._system, case_system)
+                for case_id, case_system in cases.items()
+            }
+            tolerable = stage_ii.tolerable_cases()
+            rho2 = max(
+                (
+                    decreases[case_id]
+                    for case_id, ok in tolerable.items()
+                    if ok and decreases[case_id] > 0
+                ),
+                default=0.0,
+            )
+        if obs_enabled():
+            gauge_set("cdsf.rho1", stage_i.robustness)
+            gauge_set("cdsf.rho2", rho2)
+        _log.debug(
+            "CDSF run complete: (rho_1, rho_2) = (%.4f, %.2f%%)",
+            stage_i.robustness, rho2,
         )
         return CDSFResult(
             stage_i=stage_i,

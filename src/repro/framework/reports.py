@@ -9,10 +9,18 @@ by the examples; returns plain strings so callers decide where they go.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from typing import Any
+
 from ..reporting import render_grouped_barchart, render_table
 from .cdsf import CDSFResult
 
-__all__ = ["format_stage_i", "format_stage_ii", "format_full_report"]
+__all__ = [
+    "format_stage_i",
+    "format_stage_ii",
+    "format_full_report",
+    "format_observability",
+]
 
 
 def format_stage_i(result: CDSFResult) -> str:
@@ -113,3 +121,55 @@ def format_full_report(result: CDSFResult, *, chart: bool = False) -> str:
             rho,
         ]
     )
+
+
+def format_observability(snapshot: Mapping[str, Any] | None) -> str:
+    """Human-readable run summary of a metrics snapshot.
+
+    ``snapshot`` is the dict returned by
+    :func:`repro.obs.metrics_snapshot` (or
+    :meth:`~repro.obs.MetricsRegistry.snapshot`); None or an all-empty
+    snapshot renders a one-line placeholder.
+    """
+    if snapshot is None:
+        return "Observability: no observation session was active."
+    sections: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.append(
+            render_table(
+                ["counter", "value"],
+                sorted(counters.items()),
+                title="Observability: counters",
+                floatfmt=".0f",
+            )
+        )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        sections.append(
+            render_table(
+                ["gauge", "last", "min", "max", "updates"],
+                [
+                    (name, g["last"], g["min"], g["max"], g["updates"])
+                    for name, g in sorted(gauges.items())
+                ],
+                title="Observability: gauges",
+                floatfmt=".4g",
+            )
+        )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        sections.append(
+            render_table(
+                ["histogram", "count", "mean", "min", "max"],
+                [
+                    (name, h["count"], h["mean"], h["min"], h["max"])
+                    for name, h in sorted(histograms.items())
+                ],
+                title="Observability: histograms",
+                floatfmt=".4g",
+            )
+        )
+    if not sections:
+        return "Observability: no metrics were recorded."
+    return "\n\n".join(sections)

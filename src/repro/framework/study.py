@@ -21,6 +21,7 @@ from ..apps import Batch
 from ..dls import DLSTechnique, make_technique
 from ..errors import ModelError
 from ..metrics import summary_statistic
+from ..obs import incr, obs_enabled, span
 from ..ra import Allocation
 from ..sim import LoopSimConfig, ReplicatedAppStats, replicate_application
 from ..system import HeterogeneousSystem
@@ -179,27 +180,30 @@ class DLSStudy:
         for c_idx, (case_id, case_system) in enumerate(cases.items()):
             stats[case_id] = {}
             raw[case_id] = {}
-            for tech in tech_objs:
-                stats[case_id][tech.name] = {}
-                raw[case_id][tech.name] = {}
-                for app in self._batch:
-                    group = self._allocation.group(app.name)
-                    # The runtime group carries the *case* availability.
-                    runtime_group = case_system.group(
-                        group.ptype.name, group.size
-                    )
-                    reps = replicate_application(
-                        app,
-                        runtime_group,
-                        tech,
-                        replications=config.replications,
-                        seed=base_seed + 7919 * c_idx,
-                        config=config.sim,
-                    )
-                    raw[case_id][tech.name][app.name] = reps
-                    stats[case_id][tech.name][app.name] = summary_statistic(
-                        reps.makespans, config.statistic
-                    )
+            with span("study.case", case=case_id):
+                for tech in tech_objs:
+                    stats[case_id][tech.name] = {}
+                    raw[case_id][tech.name] = {}
+                    for app in self._batch:
+                        group = self._allocation.group(app.name)
+                        # The runtime group carries the *case* availability.
+                        runtime_group = case_system.group(
+                            group.ptype.name, group.size
+                        )
+                        reps = replicate_application(
+                            app,
+                            runtime_group,
+                            tech,
+                            replications=config.replications,
+                            seed=base_seed + 7919 * c_idx,
+                            config=config.sim,
+                        )
+                        raw[case_id][tech.name][app.name] = reps
+                        stats[case_id][tech.name][app.name] = summary_statistic(
+                            reps.makespans, config.statistic
+                        )
+                        if obs_enabled():
+                            incr("study.cells")
         return StudyResult(
             config=config,
             case_ids=tuple(cases),

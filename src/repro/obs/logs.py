@@ -1,0 +1,91 @@
+"""Library logging and the single sanctioned console writer.
+
+Two output paths exist, and the invariant linter (``OBS001``) enforces
+that nothing else in the library writes to stdout:
+
+* :func:`get_logger` / :data:`log` — stdlib loggers under the ``repro``
+  hierarchy for diagnostics. The library never configures handlers on
+  import (standard library etiquette); the CLI — or an embedding
+  application — calls :func:`configure_logging` to attach one stderr
+  handler.
+* :func:`console` — the one explicit stdout writer, used by the CLI for
+  its actual deliverables (tables, charts, file paths).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+from ..errors import ObservabilityError
+
+__all__ = ["LOGGER_NAME", "get_logger", "log", "configure_logging", "console"]
+
+#: Root of the library's logger hierarchy.
+LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the handler installed by configure_logging.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+#: Module-level convenience logger (``from repro.obs import log``).
+log = get_logger()
+
+
+def configure_logging(
+    level: int | str = logging.INFO, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach one formatted handler to the ``repro`` logger (idempotent).
+
+    ``level`` accepts stdlib ints or case-insensitive names
+    (``"debug"`` ... ``"critical"``); ``stream`` defaults to stderr so
+    diagnostics never mix with the CLI's stdout deliverables.
+    """
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.strip().lower()]
+        except KeyError:
+            raise ObservabilityError(
+                f"unknown log level {level!r}; "
+                f"expected one of {sorted(_LEVELS)}"
+            ) from None
+    logger = get_logger()
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            if stream is not None and isinstance(
+                handler, logging.StreamHandler
+            ):
+                handler.setStream(stream)
+            return logger
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    return logger
+
+
+def console(text: str = "", *, end: str = "\n", stream: IO[str] | None = None) -> None:
+    """Write CLI output to stdout (the library's one stdout path)."""
+    target = stream if stream is not None else sys.stdout
+    target.write(text + end)

@@ -1,0 +1,232 @@
+"""Counters, gauges, and histograms for pipeline-level statistics.
+
+The registry is deliberately tiny and dependency-free:
+
+* :class:`Counter` — monotone totals (simulator events, chunks dispatched
+  per DLS technique, RA candidate evaluations);
+* :class:`Gauge` — last-value-wins readings with min/max (phase
+  durations, robustness values);
+* :class:`Histogram` — fixed-boundary bucket counts plus count/sum/min/
+  max (PMF support sizes, chunk sizes, makespans).
+
+Metric names are dot-separated (``"dls.chunks.FAC"``); one name maps to
+exactly one metric kind — re-registering under a different kind raises
+:class:`~repro.errors.ObservabilityError`. ``snapshot()`` returns plain
+dicts (JSON-ready); ``records()`` yields the JSONL trace records appended
+after the spans by :meth:`repro.obs.Observation.export`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Geometric bucket ladder spanning microseconds-to-megaseconds when the
+#: observed values are durations and 1..10^6 when they are sizes/counts.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0**k for k in range(-6, 7)
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins reading that remembers its extremes."""
+
+    __slots__ = ("name", "value", "minimum", "maximum", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        self.updates += 1
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        return {
+            "last": self.value,
+            "min": self.minimum,
+            "max": self.maximum,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Bucketed distribution of observed values.
+
+    Bucket ``i`` counts observations ``<= bounds[i]`` (and above the
+    previous bound); one overflow bucket catches the rest. The snapshot
+    reports only non-empty buckets to keep traces small.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> None:
+        self.name = name
+        chosen = tuple(bounds) if bounds is not None else DEFAULT_BUCKET_BOUNDS
+        if not chosen or any(
+            nxt <= prev for prev, nxt in zip(chosen, chosen[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} bounds must be strictly increasing "
+                f"and non-empty, got {chosen}"
+            )
+        self.bounds = chosen
+        self.bucket_counts = [0] * (len(chosen) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> dict[str, object]:
+        buckets = [
+            [self.bounds[i] if i < len(self.bounds) else None, n]
+            for i, n in enumerate(self.bucket_counts)
+            if n > 0
+        ]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        existing = self._kinds.setdefault(name, kind)
+        if existing != kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as a {existing}, "
+                f"requested as a {kind}"
+            )
+
+    # ------------------------------------------------------------- factories
+
+    def counter(self, name: str) -> Counter:
+        self._claim(name, "counter")
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        self._claim(name, "gauge")
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        self._claim(name, "histogram")
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
+    # ----------------------------------------------------------- convenience
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ----------------------------------------------------------------- export
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-ready nested dict of every metric's current state."""
+        return {
+            "counters": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def records(self) -> list[dict[str, object]]:
+        """Metrics as JSONL trace records (appended after span records)."""
+        out: list[dict[str, object]] = []
+        for name, counter in sorted(self._counters.items()):
+            out.append(
+                {"type": "counter", "name": name, "value": counter.value}
+            )
+        for name, gauge in sorted(self._gauges.items()):
+            out.append({"type": "gauge", "name": name, **gauge.snapshot()})
+        for name, histogram in sorted(self._histograms.items()):
+            out.append(
+                {"type": "histogram", "name": name, **histogram.snapshot()}
+            )
+        return out

@@ -1,0 +1,273 @@
+"""Hierarchical wall-clock spans and the JSONL trace format.
+
+A :class:`Tracer` maintains a stack of open spans: entering a span makes
+it the parent of every span opened before it exits, so a full CDSF run
+produces a tree (``cdsf.run`` → ``cdsf.stage_ii`` → ``study.case`` →
+``sim.replicate`` → ``sim.app``). Spans carry wall-clock ``start``/``end``
+timestamps from a monotonic clock (injectable for tests) plus a flat
+attribute dict of JSON-scalar values.
+
+The trace file is JSON Lines: one ``{"type": "meta", ...}`` header
+followed by one record per span (and, when a
+:class:`~repro.obs.metrics.MetricsRegistry` is exported alongside, one
+record per metric). :func:`read_trace` parses it back for tests and
+ad-hoc analysis.
+
+When contracts are hot (``REPRO_VALIDATE=1``), closing a span runs
+:func:`repro.contracts.check_span_monotone`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from ..contracts import check_span_monotone, contracts_enabled
+from ..errors import ObservabilityError
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "AttrValue",
+    "Span",
+    "SpanHandle",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "read_trace",
+    "write_records",
+]
+
+#: Bumped when the shape of the JSONL records changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Values a span attribute may carry (JSON scalars).
+AttrValue = Union[bool, int, float, str]
+
+
+@dataclass
+class Span:
+    """One timed region of the pipeline, nested by ``parent_id``."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        """Wall-clock seconds, or None while the span is still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_record(self) -> dict[str, object]:
+        """The span as one JSONL trace record."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attributes),
+        }
+
+
+class SpanHandle:
+    """Context manager opening/closing one span on its tracer.
+
+    ``set(**attrs)`` attaches attributes before or after entry; the
+    underlying :class:`Span` is available as ``.span`` once entered.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: Mapping[str, AttrValue] | None = None,
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes: dict[str, AttrValue] = dict(attributes or {})
+        self.span: Span | None = None
+
+    def set(self, **attributes: AttrValue) -> "SpanHandle":
+        """Attach attributes to the span; returns self for chaining."""
+        if self.span is not None:
+            self.span.attributes.update(attributes)
+        else:
+            self._attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> float | None:
+        """The closed span's wall-clock seconds (None before exit)."""
+        if self.span is None:
+            return None
+        return self.span.duration
+
+    def __enter__(self) -> "SpanHandle":
+        self.span = self._tracer._open(self._name, self._attributes)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self.span is not None:
+            self._tracer._close(self.span)
+
+
+class NullSpan:
+    """Reusable no-op stand-in for a span when observation is disabled."""
+
+    __slots__ = ()
+
+    @property
+    def duration(self) -> None:
+        return None
+
+    def set(self, **attributes: AttrValue) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        return None
+
+
+#: The singleton handed out by :func:`repro.obs.span` when disabled.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects a tree of spans using a monotonic clock.
+
+    ``clock`` defaults to :func:`time.perf_counter`; tests inject a fake
+    clock for deterministic timestamps. Spans must close in LIFO order
+    (the ``with`` statement guarantees this); closing out of order raises
+    :class:`~repro.errors.ObservabilityError`.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans currently entered but not yet exited."""
+        return len(self._stack)
+
+    @property
+    def finished(self) -> tuple[Span, ...]:
+        """Closed spans, in closing order."""
+        return tuple(self._finished)
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans are left untouched)."""
+        self._finished.clear()
+
+    # ------------------------------------------------------------------ spans
+
+    def span(
+        self, name: str, attributes: Mapping[str, AttrValue] | None = None
+    ) -> SpanHandle:
+        """A context manager for one child span of the current span."""
+        return SpanHandle(self, name, attributes)
+
+    def _open(self, name: str, attributes: Mapping[str, AttrValue]) -> Span:
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            start=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order; spans must nest"
+            )
+        self._stack.pop()
+        span.end = self._clock()
+        if contracts_enabled():
+            parent = self._stack[-1] if self._stack else None
+            check_span_monotone(
+                span.name,
+                span.start,
+                span.end,
+                parent_name=parent.name if parent is not None else None,
+                parent_start=parent.start if parent is not None else None,
+            )
+        self._finished.append(span)
+
+    # ----------------------------------------------------------------- export
+
+    def records(self) -> list[dict[str, object]]:
+        """Finished spans as JSONL records, ordered by start time."""
+        ordered = sorted(self._finished, key=lambda s: (s.start, s.span_id))
+        return [span.to_record() for span in ordered]
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write a standalone trace file (meta header + span records)."""
+        return write_records(path, self.records(), open_spans=self.open_spans)
+
+
+def write_records(
+    path: str | Path,
+    records: list[dict[str, object]],
+    *,
+    open_spans: int = 0,
+) -> Path:
+    """Write a JSONL trace: a meta header followed by ``records``."""
+    target = Path(path)
+    meta: dict[str, object] = {
+        "type": "meta",
+        "schema": TRACE_SCHEMA_VERSION,
+        "records": len(records),
+        "open_spans": open_spans,
+    }
+    with target.open("w", encoding="utf-8") as fh:
+        for record in [meta, *records]:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def read_trace(path: str | Path) -> list[dict[str, object]]:
+    """Parse a JSONL trace file back into its records (meta included)."""
+    records: list[dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: invalid trace line: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ObservabilityError(
+                    f"{path}:{lineno}: trace record is not an object"
+                )
+            records.append(record)
+    return records

@@ -25,6 +25,7 @@ from collections.abc import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import PMFError
+from ..obs import incr, obs_enabled, observe_value
 from .pmf import PMF
 
 __all__ = [
@@ -70,6 +71,9 @@ def combine(
     out = PMF(values.ravel(), probs.ravel())
     if max_points is not None and len(out) > max_points:
         out = out.truncate(max_points)
+    if obs_enabled():
+        incr("pmf.combines")
+        observe_value("pmf.support", float(len(out)))
     return out
 
 

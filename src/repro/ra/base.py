@@ -12,6 +12,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from ..errors import AllocationError
+from ..obs import incr, obs_enabled, observe_value
 from .allocation import Allocation
 from .robustness import StageIEvaluator
 
@@ -32,6 +33,9 @@ class RAResult:
             raise AllocationError(
                 f"robustness must be a probability, got {self.robustness}"
             )
+        if obs_enabled():
+            incr("ra.results")
+            observe_value("ra.evaluations", float(self.evaluations))
 
 
 class RAHeuristic(ABC):

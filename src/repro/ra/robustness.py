@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..apps import Application, Batch
 from ..contracts import check_allocation_feasible, contracts_enabled
+from ..obs import incr, obs_enabled
 from ..pmf import PMF, dilate_by_availability
 from ..system import HeterogeneousSystem, ProcessorGroup
 from .allocation import Allocation
@@ -99,6 +100,10 @@ class StageIEvaluator:
             own_group = self._system.group(group.ptype.name, group.size)
             pmf = completion_pmf(self._batch.app(app_name), own_group)
             self._pmf_cache[key] = pmf
+            if obs_enabled():
+                incr("ra.pmf_cache.miss")
+        elif obs_enabled():
+            incr("ra.pmf_cache.hit")
         return pmf
 
     def app_deadline_prob(self, app_name: str, group: ProcessorGroup) -> float:
@@ -113,6 +118,8 @@ class StageIEvaluator:
 
     def robustness(self, allocation: Allocation) -> float:
         """phi_1 of an allocation: joint deadline probability."""
+        if obs_enabled():
+            incr("ra.candidate_evaluations")
         if contracts_enabled():
             check_allocation_feasible(allocation, self._system, self._batch)
         prob = 1.0

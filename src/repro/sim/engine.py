@@ -13,6 +13,7 @@ from collections.abc import Callable
 
 from ..contracts import check_event_monotone, contracts_enabled
 from ..errors import SimulationError
+from ..obs import incr, obs_enabled, span
 from .events import EventQueue
 
 __all__ = ["Simulator"]
@@ -75,15 +76,19 @@ class Simulator:
         ``max_events`` guards against runaway simulations.
         """
         budget = max_events
-        while self._queue:
-            if until is not None and self._queue.peek().time > until:
-                self._now = until
-                break
-            if budget <= 0:
-                raise SimulationError(
-                    f"simulation exceeded {max_events} events; "
-                    "likely a scheduling livelock"
-                )
-            self.step()
-            budget -= 1
+        before = self._processed
+        with span("sim.engine.run"):
+            while self._queue:
+                if until is not None and self._queue.peek().time > until:
+                    self._now = until
+                    break
+                if budget <= 0:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a scheduling livelock"
+                    )
+                self.step()
+                budget -= 1
+        if obs_enabled():
+            incr("sim.engine.events", float(self._processed - before))
         return self._now

@@ -22,6 +22,7 @@ import numpy as np
 from ..apps import Application
 from ..dls import DLSTechnique, WorkerState
 from ..errors import SimulationError
+from ..obs import incr, obs_enabled, observe_value, span
 from ..rng import spawn_rngs
 from ..system import (
     AvailabilityModel,
@@ -188,6 +189,34 @@ def simulate_application(
     includes the serial phase (if enabled) and the full parallel loop.
     """
     config = config or LoopSimConfig()
+    with span(
+        "sim.app",
+        app=app.name,
+        technique=technique.name,
+        group_type=group.ptype.name,
+        group_size=group.size,
+    ):
+        result = _simulate_application(
+            app, group, technique, seed=seed, config=config,
+            availability=availability,
+        )
+    if obs_enabled():
+        incr("sim.apps")
+        incr("sim.iterations", float(result.iterations_executed))
+        incr(f"dls.chunks.{technique.name}", float(len(result.chunks)))
+        observe_value("sim.makespan", result.makespan)
+    return result
+
+
+def _simulate_application(
+    app: Application,
+    group: ProcessorGroup,
+    technique: DLSTechnique,
+    *,
+    seed: int | None,
+    config: LoopSimConfig,
+    availability: AvailabilityModel | list[AvailabilityModel] | None,
+) -> AppRunResult:
     workers = _build_workers(group, availability, config, seed)
     type_name = group.ptype.name
 
@@ -258,16 +287,22 @@ def replicate_application(
         raise SimulationError(f"need >= 1 replication, got {replications}")
     base = seed if seed is not None else 0
     makespans = []
-    for r in range(replications):
-        result = simulate_application(
-            app,
-            group,
-            technique,
-            seed=base * 1_000_003 + r,
-            config=config,
-            availability=availability,
-        )
-        makespans.append(result.makespan)
+    with span(
+        "sim.replicate",
+        app=app.name,
+        technique=technique.name,
+        replications=replications,
+    ):
+        for r in range(replications):
+            result = simulate_application(
+                app,
+                group,
+                technique,
+                seed=base * 1_000_003 + r,
+                config=config,
+                availability=availability,
+            )
+            makespans.append(result.makespan)
     return ReplicatedAppStats(
         app_name=app.name,
         technique=technique.name,

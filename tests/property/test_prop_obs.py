@@ -1,0 +1,134 @@
+"""Property-based tests of the observability layer (hypothesis).
+
+These arm ``check_span_monotone`` (via ``validation(True)``) and check the
+structural laws the trace format rests on: spans always nest, children
+stay inside their parents, exported records round-trip through JSONL, and
+a clock that runs backwards is caught by the contract.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.contracts import ContractViolation, check_span_monotone, validation
+from repro.obs import Tracer, read_trace
+
+finite_times = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+#: Per-read positive clock increments (a well-behaved monotone clock).
+steps = st.lists(
+    st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=32,
+)
+
+
+class SteppedClock:
+    """Clock advancing by a drawn increment on every read."""
+
+    def __init__(self, increments):
+        self._increments = list(increments)
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        if self._increments:
+            self.now += self._increments.pop(0)
+        return self.now
+
+
+def run_random_tree(tracer: Tracer, script: list[bool]) -> None:
+    """Open (True) / close (False) spans per ``script`` via SpanHandles."""
+    open_handles = []
+    for do_open in script:
+        if do_open:
+            handle = tracer.span(f"s{len(open_handles)}")
+            handle.__enter__()
+            open_handles.append(handle)
+        elif open_handles:
+            open_handles.pop().__exit__(None, None, None)
+    while open_handles:
+        open_handles.pop().__exit__(None, None, None)
+
+
+class TestSpanMonotoneContract:
+    @given(start=finite_times, length=st.floats(0, 1e6, allow_nan=False))
+    def test_accepts_forward_spans(self, start, length):
+        check_span_monotone("s", start, start + length)
+
+    @given(
+        start=finite_times,
+        backwards=st.floats(
+            min_value=1e-9, max_value=1e6, allow_nan=False
+        ),
+    )
+    def test_rejects_end_before_start(self, start, backwards):
+        with validation(True):
+            with pytest.raises(ContractViolation, match="before it starts"):
+                check_span_monotone("s", start, start - backwards)
+
+    @given(
+        parent_start=finite_times,
+        early=st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+    )
+    def test_rejects_child_before_parent(self, parent_start, early):
+        start = parent_start - early
+        with validation(True):
+            with pytest.raises(ContractViolation, match="before its parent"):
+                check_span_monotone(
+                    "child",
+                    start,
+                    start + 1.0,
+                    parent_name="parent",
+                    parent_start=parent_start,
+                )
+
+    @given(
+        start=finite_times,
+        step=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_backwards_clock_trips_contract(self, start, step):
+        ticks = iter([start, start - step])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with validation(True):
+            with pytest.raises(ContractViolation):
+                with tracer.span("outer"):
+                    pass
+
+
+class TestTraceStructure:
+    @given(script=st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_random_trees_nest(self, script):
+        tracer = Tracer(clock=SteppedClock([1.0] * 200))
+        with validation(True):  # check_span_monotone armed on every close
+            run_random_tree(tracer, script)
+        assert tracer.open_spans == 0
+        spans = {s.span_id: s for s in tracer.finished}
+        for span in spans.values():
+            assert span.end is not None and span.end >= span.start
+            if span.parent_id is not None:
+                parent = spans[span.parent_id]
+                # child interval strictly inside the parent's
+                assert parent.start <= span.start
+                assert span.end <= parent.end
+
+    @given(script=st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_export_round_trip(self, script, tmp_path_factory):
+        tracer = Tracer(clock=SteppedClock([1.0] * 200))
+        run_random_tree(tracer, script)
+        path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+        tracer.write_jsonl(path)
+        records = read_trace(path)
+        meta, spans = records[0], records[1:]
+        assert meta["records"] == len(spans) == len(tracer.finished)
+        starts = [r["start"] for r in spans]
+        assert starts == sorted(starts)
+        ids = {r["id"] for r in spans}
+        assert all(r["parent"] is None or r["parent"] in ids for r in spans)

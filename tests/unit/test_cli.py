@@ -100,3 +100,56 @@ class TestRecommendAndChart:
         system, batch, deadline = load_instance(target)
         assert deadline == 3250.0
         assert batch.names == ("app1", "app2", "app3")
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        import repro.obs as obs
+        from repro.obs import read_trace
+
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["--trace", str(path), "scenario", "1",
+             "--replications", "1", "--seed", "1"]
+        ) == 0
+        assert not obs.obs_enabled()  # the CLI session was torn down
+        out = capsys.readouterr().out
+        assert f"wrote trace to {path}" in out
+        records = read_trace(path)
+        assert records[0]["type"] == "meta"
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"cdsf.run", "cdsf.stage_i", "cdsf.stage_ii"} <= names
+        counters = {
+            r["name"] for r in records if r["type"] == "counter"
+        }
+        assert "sim.apps" in counters
+
+    def test_metrics_summary(self, capsys):
+        assert main(
+            ["--metrics", "robustness", "--replications", "1", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Observability: counters" in out
+        assert "sim.apps" in out
+        assert "Observability: histograms" in out
+
+    def test_plain_run_leaves_obs_disabled(self, capsys):
+        import repro.obs as obs
+
+        assert main(["techniques"]) == 0
+        assert not obs.obs_enabled()
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        from repro.obs import get_logger
+
+        logger = get_logger()
+        before = logger.handlers[:]
+        try:
+            assert main(["--log-level", "debug", "techniques"]) == 0
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in logger.handlers[:]:
+                if handler not in before:
+                    logger.removeHandler(handler)

@@ -10,6 +10,7 @@ from repro.contracts import (
     check_allocation_feasible,
     check_event_monotone,
     check_pmf_canonical,
+    check_span_monotone,
     contracts_enabled,
     require,
     validation,
@@ -93,6 +94,46 @@ class TestEventMonotone:
     def test_backward_time_rejected(self):
         with pytest.raises(ContractViolation, match="monotone"):
             check_event_monotone(2.0, 1.0)
+
+
+class TestSpanMonotone:
+    def test_forward_span_passes(self):
+        check_span_monotone("s", 1.0, 1.0)
+        check_span_monotone("s", 1.0, 2.0)
+        check_span_monotone(
+            "child", 1.5, 2.0, parent_name="root", parent_start=1.0
+        )
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ContractViolation, match="before it starts"):
+            check_span_monotone("s", 2.0, 1.0)
+
+    def test_child_before_parent_rejected(self):
+        with pytest.raises(ContractViolation, match="before its parent"):
+            check_span_monotone(
+                "child", 0.5, 2.0, parent_name="root", parent_start=1.0
+            )
+
+    def test_tracer_runs_hot(self):
+        from repro.obs import Tracer
+
+        ticks = iter([0.0, 1.0, 2.0, 3.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with validation(True):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        assert tracer.open_spans == 0
+
+    def test_tracer_trips_on_backwards_clock(self):
+        from repro.obs import Tracer
+
+        ticks = iter([1.0, 0.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with validation(True):
+            with pytest.raises(ContractViolation, match="before it starts"):
+                with tracer.span("outer"):
+                    pass
 
     def test_simulator_runs_hot(self):
         with validation(True):

@@ -424,6 +424,105 @@ class TestDunderAll:
         assert findings == []
 
 
+# -------------------------------------------------------------- observability
+
+
+class TestPrintCall:
+    def test_flags_bare_print(self):
+        findings = lint_sources(
+            {"framework/foo.py": "def report(x):\n    print(x)\n"},
+            select=["OBS001"],
+        )
+        assert rule_ids(findings) == ["OBS001"]
+        assert findings[0].line == 2
+
+    def test_flags_print_in_cli(self):
+        findings = lint_sources(
+            {"cli.py": 'print("hello")\n'}, select=["OBS001"]
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_obs_package_exempt(self):
+        findings = lint_sources(
+            {"obs/logs.py": "def console(text):\n    print(text)\n"},
+            select=["OBS001"],
+        )
+        assert findings == []
+
+    def test_console_and_logger_pass(self):
+        findings = lint_sources(
+            {
+                "cli.py": (
+                    "from .obs import console, get_logger\n"
+                    "log = get_logger()\n"
+                    "def out(text):\n"
+                    "    console(text)\n"
+                    "    log.info(text)\n"
+                )
+            },
+            select=["OBS001"],
+        )
+        assert findings == []
+
+    def test_method_named_print_passes(self):
+        findings = lint_sources(
+            {"reporting/foo.py": "def f(doc):\n    return doc.print()\n"},
+            select=["OBS001"],
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    def test_flags_time_time_call(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                )
+            },
+            select=["OBS002"],
+        )
+        assert rule_ids(findings) == ["OBS002"]
+        assert findings[0].line == 3
+
+    def test_flags_perf_counter_import(self):
+        findings = lint_sources(
+            {"framework/foo.py": "from time import perf_counter\n"},
+            select=["OBS002"],
+        )
+        assert rule_ids(findings) == ["OBS002"]
+
+    def test_obs_package_exempt(self):
+        findings = lint_sources(
+            {
+                "obs/spans.py": (
+                    "import time\n"
+                    "def now():\n"
+                    "    return time.perf_counter()\n"
+                )
+            },
+            select=["OBS002"],
+        )
+        assert findings == []
+
+    def test_non_clock_time_attrs_pass(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "import time\n"
+                    "from time import sleep\n"
+                    "def nap():\n"
+                    "    time.sleep(0.1)\n"
+                    "    sleep(0.1)\n"
+                )
+            },
+            select=["OBS002"],
+        )
+        assert findings == []
+
+
 # ----------------------------------------------------------------- framework
 
 
@@ -467,6 +566,8 @@ class TestFramework:
             "ALL001",
             "ALL002",
             "ALL003",
+            "OBS001",
+            "OBS002",
         } <= known_ids()
 
 
