@@ -36,6 +36,7 @@ from . import rules_registry  # noqa: F401  (registers REG001-REG002)
 from . import rules_floats  # noqa: F401  (registers FLT001)
 from . import rules_exports  # noqa: F401  (registers ALL001-ALL003)
 from . import rules_obs  # noqa: F401  (registers OBS001-OBS002)
+from . import rules_exec  # noqa: F401  (registers EXEC001)
 
 __all__ = [
     "Finding",

@@ -38,7 +38,7 @@ __all__ = [
 
 _SKIP_RE = re.compile(r"#\s*lint:\s*skip=([A-Za-z0-9_*,\s]+)")
 
-_RULE_ID_RE = re.compile(r"^[A-Z]{3}[0-9]{3}$")
+_RULE_ID_RE = re.compile(r"^[A-Z]{3,4}[0-9]{3}$")
 
 
 @dataclass(frozen=True, order=True)

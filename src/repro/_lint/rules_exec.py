@@ -1,0 +1,89 @@
+"""Execution-discipline rules.
+
+Process fan-out is owned by :mod:`repro.exec`: backends hide the pool,
+tasks carry pre-derived seeds, and worker observability is merged back
+into the parent session. A stray ``multiprocessing`` or
+``concurrent.futures`` use elsewhere would fork work outside the seed
+tree and outside the obs merge path, silently breaking the bit-for-bit
+serial/parallel equivalence the backends guarantee. One rule enforces
+the discipline:
+
+* ``EXEC001`` — no ``multiprocessing`` / ``concurrent.futures`` imports
+  outside ``repro/exec/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import Finding, Module, Rule, register
+
+__all__ = ["ProcessFanoutRule"]
+
+#: The one package allowed to spawn worker processes.
+_EXEC_PREFIX = "exec/"
+
+#: Top-level modules that create or talk to worker processes.
+_FANOUT_MODULES = frozenset({"multiprocessing", "concurrent"})
+
+
+def _in_exec(module: Module) -> bool:
+    return module.pkgpath.startswith(_EXEC_PREFIX)
+
+
+def _fanout_root(name: str) -> str | None:
+    """The offending root module of a dotted import name, if any.
+
+    ``concurrent`` alone is harmless (it is an empty namespace package);
+    only ``concurrent.futures`` reaches the executors, so the bare root
+    is flagged for ``multiprocessing`` but not for ``concurrent``.
+    """
+    root = name.split(".", 1)[0]
+    if root == "multiprocessing":
+        return "multiprocessing"
+    if name == "concurrent.futures" or name.startswith("concurrent.futures."):
+        return "concurrent.futures"
+    return None
+
+
+@register
+class ProcessFanoutRule(Rule):
+    id = "EXEC001"
+    title = "no multiprocessing/concurrent.futures outside repro/exec/"
+    rationale = (
+        "worker processes spawned outside repro.exec bypass the seed tree, "
+        "the backend workers knob, and the obs worker-merge path, so their "
+        "results are neither reproducible nor observable"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if _in_exec(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = _fanout_root(alias.name)
+                    if root is not None:
+                        yield module.finding(
+                            node,
+                            self.id,
+                            f"import of `{alias.name}`; spawn workers via "
+                            "repro.exec backends (get_backend)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None:
+                    continue
+                root = _fanout_root(node.module)
+                if root is None and node.module == "concurrent":
+                    # ``from concurrent import futures`` reaches the
+                    # executors through the alias list.
+                    if any(a.name == "futures" for a in node.names):
+                        root = "concurrent.futures"
+                if root is not None:
+                    yield module.finding(
+                        node,
+                        self.id,
+                        f"import from `{node.module}`; spawn workers via "
+                        "repro.exec backends (get_backend)",
+                    )

@@ -5,7 +5,8 @@ draw to flow through the seeded streams in :mod:`repro.rng`
 (``SeedSequence`` spawning). Three rules enforce the discipline:
 
 * ``RNG001`` — no direct ``np.random.*`` construction/seeding calls (and
-  no ``numpy.random`` imports) outside ``repro/rng.py``;
+  no ``numpy.random`` imports) outside the seeding modules
+  ``repro/rng.py`` and ``repro/exec/seeds.py``;
 * ``RNG002`` — no stdlib ``random`` anywhere in the library;
 * ``RNG003`` — a public module-level function that obtains a generator via
   the :mod:`repro.rng` helpers must expose an ``rng``/``seed`` parameter,
@@ -25,6 +26,10 @@ __all__ = ["RngConstructionRule", "StdlibRandomRule", "SeedPathRule"]
 #: The one module allowed to touch ``numpy.random`` directly.
 _RNG_MODULE = "rng.py"
 
+#: Modules that *are* the seeding discipline: repro.rng plus the
+#: SeedSequence-spawn-key tree behind the parallel backends.
+_RNG_EXEMPT = frozenset({_RNG_MODULE, "exec/seeds.py"})
+
 _NP_RANDOM_RE = re.compile(r"^(np|numpy)\.random(\.|$)")
 
 #: repro.rng helpers that hand out generators.
@@ -37,14 +42,15 @@ _SEED_PARAM_RE = re.compile(r"^(rng|rngs|seed|seeds)$|_(rng|seed)$")
 @register
 class RngConstructionRule(Rule):
     id = "RNG001"
-    title = "no direct numpy.random use outside repro/rng.py"
+    title = "no direct numpy.random use outside the seeding modules"
     rationale = (
-        "generators must be derived from the SeedSequence tree in repro.rng; "
-        "a stray default_rng/seed call silently forks the reproducibility story"
+        "generators must be derived from the SeedSequence tree in repro.rng "
+        "or repro.exec.seeds; a stray default_rng/seed call silently forks "
+        "the reproducibility story"
     )
 
     def check_module(self, module: Module) -> Iterator[Finding]:
-        if module.pkgpath == _RNG_MODULE:
+        if module.pkgpath in _RNG_EXEMPT:
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
@@ -53,7 +59,7 @@ class RngConstructionRule(Rule):
                     yield module.finding(
                         node,
                         self.id,
-                        f"call to `{name}` outside repro/rng.py; route through "
+                        f"call to `{name}` outside the seeding modules; route through "
                         "repro.rng (ensure_rng/make_rng/spawn_rngs)",
                     )
             elif isinstance(node, ast.ImportFrom):
@@ -61,7 +67,7 @@ class RngConstructionRule(Rule):
                     yield module.finding(
                         node,
                         self.id,
-                        f"import from `{node.module}` outside repro/rng.py",
+                        f"import from `{node.module}` outside the seeding modules",
                     )
                 elif node.module == "numpy" and any(
                     alias.name == "random" for alias in node.names
@@ -69,7 +75,7 @@ class RngConstructionRule(Rule):
                     yield module.finding(
                         node,
                         self.id,
-                        "import of `numpy.random` outside repro/rng.py",
+                        "import of `numpy.random` outside the seeding modules",
                     )
             elif isinstance(node, ast.Import):
                 for alias in node.names:
@@ -77,7 +83,7 @@ class RngConstructionRule(Rule):
                         yield module.finding(
                             node,
                             self.id,
-                            f"import of `{alias.name}` outside repro/rng.py",
+                            f"import of `{alias.name}` outside the seeding modules",
                         )
 
 

@@ -28,6 +28,7 @@ import sys
 from collections.abc import Sequence
 
 from .dls import ALL_TECHNIQUES
+from .exec import ExecutionBackend, get_backend
 from .framework import Scenario, format_observability, run_scenario
 from .obs import (
     configure_logging,
@@ -77,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", default=None,
         choices=["debug", "info", "warning", "error"],
         help="enable repro's stderr logging at the given level",
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="worker processes for simulation/evaluation fan-out "
+        "(default: $REPRO_WORKERS, else 1 = serial; results are "
+        "identical at any worker count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -172,8 +179,8 @@ def _figure_kwargs(args) -> dict:
     return kwargs
 
 
-def _cmd_figure(args) -> int:
-    series = figure_series(args.name, **_figure_kwargs(args))
+def _cmd_figure(args, backend: ExecutionBackend) -> int:
+    series = figure_series(args.name, backend=backend, **_figure_kwargs(args))
     if args.chart:
         from .reporting import render_grouped_barchart
 
@@ -217,9 +224,12 @@ def _cdsf_kwargs(args) -> dict:
     return kwargs
 
 
-def _cmd_scenario(args) -> int:
+def _cmd_scenario(args, backend: ExecutionBackend) -> int:
     result = run_scenario(
-        _SCENARIOS[args.number], paper_cdsf(**_cdsf_kwargs(args)), paper_cases()
+        _SCENARIOS[args.number],
+        paper_cdsf(**_cdsf_kwargs(args)),
+        paper_cases(),
+        backend=backend,
     )
     study = result.stage_ii
     rows = []
@@ -244,11 +254,12 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
-def _cmd_robustness(args) -> int:
+def _cmd_robustness(args, backend: ExecutionBackend) -> int:
     result = run_scenario(
         Scenario.ROBUST_IM_ROBUST_RAS,
         paper_cdsf(**_cdsf_kwargs(args)),
         paper_cases(),
+        backend=backend,
     )
     _print(
         render_table(
@@ -277,15 +288,15 @@ def _cmd_robustness(args) -> int:
     return 0
 
 
-def _dispatch(args) -> int:
+def _dispatch(args, backend: ExecutionBackend) -> int:
     if args.command == "tables":
         return _cmd_tables()
     if args.command == "figure":
-        return _cmd_figure(args)
+        return _cmd_figure(args, backend)
     if args.command == "scenario":
-        return _cmd_scenario(args)
+        return _cmd_scenario(args, backend)
     if args.command == "robustness":
-        return _cmd_robustness(args)
+        return _cmd_robustness(args, backend)
     if args.command == "techniques":
         for name, cls in sorted(ALL_TECHNIQUES.items()):
             tech = cls()
@@ -324,22 +335,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level:
         configure_logging(args.log_level)
-    if not (args.trace or args.metrics):
-        return _dispatch(args)
-    if obs_enabled():
-        # An observation session is already active (REPRO_OBS env gate):
-        # reuse it rather than splitting the trace across two sessions.
-        session = current()
-        assert session is not None
-        code = _dispatch(args)
-        _finish_observed(args)
-        if args.trace:
-            session.export(args.trace)
-            console(f"wrote trace to {args.trace}")
-        return code
-    with observed(trace_path=args.trace):
-        code = _dispatch(args)
-        _finish_observed(args)
+    with get_backend(args.workers) as backend:
+        if not (args.trace or args.metrics):
+            return _dispatch(args, backend)
+        if obs_enabled():
+            # An observation session is already active (REPRO_OBS env
+            # gate): reuse it rather than splitting the trace across two
+            # sessions.
+            session = current()
+            assert session is not None
+            code = _dispatch(args, backend)
+            _finish_observed(args)
+            if args.trace:
+                session.export(args.trace)
+                console(f"wrote trace to {args.trace}")
+            return code
+        with observed(trace_path=args.trace):
+            code = _dispatch(args, backend)
+            _finish_observed(args)
     if args.trace:
         console(f"wrote trace to {args.trace}")
     return code

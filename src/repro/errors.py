@@ -16,6 +16,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "ObservabilityError",
+    "ExecutionError",
 ]
 
 
@@ -49,3 +50,7 @@ class SimulationError(ReproError):
 
 class ObservabilityError(ReproError):
     """The tracing/metrics layer (:mod:`repro.obs`) was misused."""
+
+
+class ExecutionError(ReproError):
+    """The parallel-execution layer (:mod:`repro.exec`) was misused."""

@@ -1,0 +1,212 @@
+"""Execution backends: where tasks run.
+
+An :class:`ExecutionBackend` consumes a sequence of picklable tasks
+(anything with a pure ``run()``) and returns their results **in task
+order**. Because every task carries its own derived seeds, results are
+bit-for-bit identical across backends — the backend only chooses *where*
+the work happens:
+
+* :class:`SerialBackend` — in-process, in order. The zero-overhead
+  default; observability spans nest naturally into the caller's trace.
+* :class:`ProcessPoolBackend` — a persistent
+  :class:`concurrent.futures.ProcessPoolExecutor`. When observation is
+  active in the parent, each task runs under a worker-local observation
+  session whose span records and metrics are merged into the parent
+  trace on join, every adopted span tagged with a ``worker`` (pid)
+  attribute.
+
+:func:`get_backend` resolves the default worker count from the
+``REPRO_WORKERS`` environment variable (CLI flag ``--workers`` wins), so
+``REPRO_WORKERS=4 python -m repro scenario 4`` parallelizes the study
+grid with no code changes.
+
+This module is the one place in the library allowed to import
+``concurrent.futures``/``multiprocessing`` (lint rule ``EXEC001``).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from .. import obs
+from ..errors import ExecutionError
+from .tasks import Task
+
+__all__ = [
+    "ENV_WORKERS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "default_workers",
+]
+
+#: Environment variable selecting the default worker count.
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """The worker count implied by ``REPRO_WORKERS`` (1 when unset)."""
+    raw = os.environ.get(ENV_WORKERS, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ExecutionError(
+            f"{ENV_WORKERS} must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ExecutionError(
+            f"{ENV_WORKERS} must be a positive integer, got {raw!r}"
+        )
+    return workers
+
+
+class ExecutionBackend(ABC):
+    """Executes task batches; results come back in task order."""
+
+    #: Registry-friendly identifier; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_tasks(self, tasks: Sequence[Task]) -> list[Any]:
+        """Run every task; return their results in task order."""
+
+    @property
+    def workers(self) -> int:
+        """Degree of parallelism (1 for serial execution)."""
+        return 1
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution (the default)."""
+
+    name = "serial"
+
+    def run_tasks(self, tasks: Sequence[Task]) -> list[Any]:
+        return [task.run() for task in tasks]
+
+
+# --------------------------------------------------------------------- pool
+#
+# The functions below are module-level so they pickle by reference under
+# both fork and spawn start methods.
+
+
+def _worker_init() -> None:
+    """Reset inherited state in a fresh pool worker.
+
+    Under the fork start method the child inherits the parent's active
+    observation session; recording into that copy would silently drop
+    spans (the parent never sees the child's object). Workers therefore
+    always start unobserved and opt in per task.
+    """
+    if obs.obs_enabled():
+        obs.stop(export=False)
+
+
+def _run_plain(task: Task) -> Any:
+    return task.run()
+
+
+def _run_observed(task: Task) -> tuple[Any, int, list[dict[str, object]], Any]:
+    """Run one task under a worker-local observation session.
+
+    Returns ``(result, worker pid, span records, metrics registry)`` for
+    the parent to merge on join.
+    """
+    session = obs.start()
+    try:
+        result = task.run()
+    finally:
+        obs.stop(export=False)
+    return result, os.getpid(), session.tracer.records(), session.metrics
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out over a persistent process pool.
+
+    The executor is created lazily on first use and reused across
+    ``run_tasks`` calls (a study submits one batch per availability
+    case); ``close()`` shuts it down. Results are collected with
+    ``Executor.map``, which preserves task order — combined with
+    per-task seeds this makes pool output bit-for-bit identical to
+    :class:`SerialBackend`.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers, initializer=_worker_init
+            )
+        return self._executor
+
+    def run_tasks(self, tasks: Sequence[Task]) -> list[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        executor = self._ensure_executor()
+        session = obs.current()
+        if session is None:
+            return list(executor.map(_run_plain, tasks))
+        results: list[Any] = []
+        for result, worker, records, metrics in executor.map(
+            _run_observed, tasks
+        ):
+            session.tracer.adopt_records(records, attributes={"worker": worker})
+            session.metrics.merge(metrics)
+            obs.incr("exec.tasks")
+            results.append(result)
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def get_backend(workers: int | None = None) -> ExecutionBackend:
+    """Resolve a backend from an explicit worker count or the environment.
+
+    ``workers=None`` consults ``REPRO_WORKERS``; a count of 1 (the
+    default) yields a :class:`SerialBackend`, anything larger a
+    :class:`ProcessPoolBackend`.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers)

@@ -17,6 +17,7 @@ from collections.abc import Mapping, Sequence
 from ..apps import Batch
 from ..dls import DLSTechnique
 from ..errors import ModelError
+from ..exec import ExecutionBackend
 from ..obs import gauge_set, get_logger, incr, obs_enabled, span
 from ..ra import AllocationReport, RAHeuristic, RAResult, StageIEvaluator
 from ..system import HeterogeneousSystem
@@ -91,10 +92,15 @@ class CDSF:
 
     # ------------------------------------------------------------------ stages
 
-    def run_stage_i(self, heuristic: RAHeuristic) -> RAResult:
+    def run_stage_i(
+        self,
+        heuristic: RAHeuristic,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
         """Initial mapping with the given RA heuristic."""
         with span("cdsf.stage_i", heuristic=heuristic.name) as sp:
-            result = heuristic.allocate(self._evaluator)
+            result = heuristic.allocate(self._evaluator, backend=backend)
         if obs_enabled():
             incr("cdsf.stage_i_runs")
             gauge_set("cdsf.phi1", result.robustness)
@@ -111,13 +117,15 @@ class CDSF:
         stage_i: RAResult,
         cases: Mapping[str, HeterogeneousSystem],
         techniques: Sequence[str | DLSTechnique],
+        *,
+        backend: ExecutionBackend | None = None,
     ) -> StudyResult:
         """Runtime application scheduling study on the stage-I allocation."""
         with span(
             "cdsf.stage_ii", cases=len(cases), techniques=len(techniques)
         ) as sp:
             study = DLSStudy(self._batch, stage_i.allocation, self._config)
-            result = study.run(cases, techniques)
+            result = study.run(cases, techniques, backend=backend)
         if obs_enabled():
             incr("cdsf.stage_ii_runs")
             if sp.duration is not None:
@@ -134,14 +142,23 @@ class CDSF:
         heuristic: RAHeuristic,
         cases: Mapping[str, HeterogeneousSystem],
         techniques: Sequence[str | DLSTechnique],
+        *,
+        backend: ExecutionBackend | None = None,
     ) -> CDSFResult:
-        """Full dual-stage run; see :class:`CDSFResult`."""
+        """Full dual-stage run; see :class:`CDSFResult`.
+
+        ``backend`` (default: env-resolved via
+        :func:`repro.exec.get_backend` inside each stage) parallelizes
+        both the stage-I candidate scoring and the stage-II grid.
+        """
         if not cases:
             raise ModelError("need at least one runtime availability case")
         with span("cdsf.run", heuristic=heuristic.name):
-            stage_i = self.run_stage_i(heuristic)
+            stage_i = self.run_stage_i(heuristic, backend=backend)
             report = self._evaluator.report(stage_i.allocation)
-            stage_ii = self.run_stage_ii(stage_i, cases, techniques)
+            stage_ii = self.run_stage_ii(
+                stage_i, cases, techniques, backend=backend
+            )
             decreases = {
                 case_id: availability_decrease(self._system, case_system)
                 for case_id, case_system in cases.items()

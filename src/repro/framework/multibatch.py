@@ -23,7 +23,9 @@ from collections.abc import Sequence
 from ..apps import Application, Batch
 from ..dls import DLSTechnique, make_technique
 from ..errors import ModelError
+from ..exec import SeedTree
 from ..ra import RAHeuristic, StageIEvaluator
+from ..rng import DEFAULT_SEED
 from ..sim import LoopSimConfig, simulate_batch
 from ..system import HeterogeneousSystem
 
@@ -117,7 +119,7 @@ class MultiBatchScheduler:
         )
         self._deadline = deadline
         self._sim = sim or LoopSimConfig()
-        self._seed = seed if seed is not None else 0
+        self._tree = SeedTree(seed if seed is not None else DEFAULT_SEED)
 
     def run(
         self,
@@ -158,7 +160,7 @@ class MultiBatchScheduler:
                 stage_i.allocation,
                 self._technique,
                 deadline=self._deadline,
-                seed=self._seed * 9176 + index,
+                seed=self._tree.child("batch", index).seed(),
                 config=self._sim,
             )
             finish = start + run.makespan

@@ -20,6 +20,7 @@ from enum import Enum
 from collections.abc import Mapping, Sequence
 
 from ..dls import ROBUST_SET
+from ..exec import ExecutionBackend
 from ..ra import EqualShareAllocator, ExhaustiveAllocator, RAHeuristic
 from ..system import HeterogeneousSystem
 from .cdsf import CDSF, CDSFResult
@@ -91,6 +92,7 @@ def run_scenario(
     *,
     robust_heuristic: RAHeuristic | None = None,
     robust_techniques: Sequence[str] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> CDSFResult:
     """Run one scenario through the CDSF."""
     spec = scenario_spec(
@@ -98,7 +100,7 @@ def run_scenario(
         robust_heuristic=robust_heuristic,
         robust_techniques=robust_techniques,
     )
-    return cdsf.run(spec.heuristic, cases, spec.techniques)
+    return cdsf.run(spec.heuristic, cases, spec.techniques, backend=backend)
 
 
 def run_all_scenarios(
@@ -107,6 +109,7 @@ def run_all_scenarios(
     *,
     robust_heuristic: RAHeuristic | None = None,
     robust_techniques: Sequence[str] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> dict[Scenario, CDSFResult]:
     """Run all four scenarios; keyed by :class:`Scenario`."""
     return {
@@ -116,6 +119,7 @@ def run_all_scenarios(
             cases,
             robust_heuristic=robust_heuristic,
             robust_techniques=robust_techniques,
+            backend=backend,
         )
         for scenario in Scenario
     }

@@ -20,10 +20,12 @@ from collections.abc import Mapping, Sequence
 from ..apps import Batch
 from ..dls import DLSTechnique, make_technique
 from ..errors import ModelError
+from ..exec import ExecutionBackend, ReplicateTask, SeedTree, get_backend
 from ..metrics import summary_statistic
 from ..obs import incr, obs_enabled, span
 from ..ra import Allocation
-from ..sim import LoopSimConfig, ReplicatedAppStats, replicate_application
+from ..rng import DEFAULT_SEED
+from ..sim import LoopSimConfig, ReplicatedAppStats, replication_seeds
 from ..system import HeterogeneousSystem
 from .robustness import stage_ii_robustness
 
@@ -159,12 +161,24 @@ class DLSStudy:
         self,
         cases: Mapping[str, HeterogeneousSystem],
         techniques: Sequence[str | DLSTechnique],
+        *,
+        backend: ExecutionBackend | None = None,
     ) -> StudyResult:
         """Simulate every (case, technique, application) cell.
 
         ``cases`` maps case identifiers to systems carrying that case's
         *runtime* availability PMFs (same structure as the stage-I system).
-        ``techniques`` are technique names or instances.
+        ``techniques`` are technique names or instances. ``backend``
+        defaults to :func:`repro.exec.get_backend` (``REPRO_WORKERS``
+        selects a process pool); each case's cells are submitted as one
+        batch of :class:`~repro.exec.tasks.ReplicateTask` descriptions,
+        and since every cell carries pre-derived seeds the grid is
+        bit-for-bit identical on every backend.
+
+        Cell seeds are derived from the technique-*invariant* tree path
+        ``("cell", case, app)``: all techniques see the same availability
+        realizations per (case, app) — the paper's common-random-numbers
+        comparison — while different cases and apps draw independently.
         """
         if not cases:
             raise ModelError("a study needs at least one availability case")
@@ -173,37 +187,54 @@ class DLSStudy:
         ]
         if not tech_objs:
             raise ModelError("a study needs at least one DLS technique")
+        if backend is None:
+            backend = get_backend()
         config = self._config
         stats: dict[str, dict[str, dict[str, float]]] = {}
         raw: dict[str, dict[str, dict[str, ReplicatedAppStats]]] = {}
-        base_seed = config.seed if config.seed is not None else 0
-        for c_idx, (case_id, case_system) in enumerate(cases.items()):
-            stats[case_id] = {}
-            raw[case_id] = {}
+        tree = SeedTree(
+            config.seed if config.seed is not None else DEFAULT_SEED
+        )
+        for case_id, case_system in cases.items():
+            stats[case_id] = {t.name: {} for t in tech_objs}
+            raw[case_id] = {t.name: {} for t in tech_objs}
             with span("study.case", case=case_id):
+                tasks: list[ReplicateTask] = []
                 for tech in tech_objs:
-                    stats[case_id][tech.name] = {}
-                    raw[case_id][tech.name] = {}
                     for app in self._batch:
                         group = self._allocation.group(app.name)
                         # The runtime group carries the *case* availability.
                         runtime_group = case_system.group(
                             group.ptype.name, group.size
                         )
-                        reps = replicate_application(
-                            app,
-                            runtime_group,
-                            tech,
-                            replications=config.replications,
-                            seed=base_seed + 7919 * c_idx,
-                            config=config.sim,
+                        cell_seed = tree.child(
+                            "cell", case_id, app.name
+                        ).seed()
+                        tasks.append(
+                            ReplicateTask(
+                                app=app,
+                                group=runtime_group,
+                                technique=tech,
+                                seeds=replication_seeds(
+                                    cell_seed, config.replications
+                                ),
+                                config=config.sim,
+                                tag=(case_id, tech.name, app.name),
+                            )
                         )
-                        raw[case_id][tech.name][app.name] = reps
-                        stats[case_id][tech.name][app.name] = summary_statistic(
-                            reps.makespans, config.statistic
-                        )
-                        if obs_enabled():
-                            incr("study.cells")
+                for task, makespans in zip(tasks, backend.run_tasks(tasks)):
+                    _, tech_name, app_name = task.tag
+                    reps = ReplicatedAppStats(
+                        app_name=app_name,
+                        technique=tech_name,
+                        makespans=tuple(makespans),
+                    )
+                    raw[case_id][tech_name][app_name] = reps
+                    stats[case_id][tech_name][app_name] = summary_statistic(
+                        reps.makespans, config.statistic
+                    )
+                    if obs_enabled():
+                        incr("study.cells")
         return StudyResult(
             config=config,
             case_ids=tuple(cases),

@@ -197,6 +197,59 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
+    # ------------------------------------------------------------------ merge
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (worker-to-parent join).
+
+        Counters and histogram buckets add; gauges take the other's last
+        value while widening min/max and accumulating update counts.
+        Merging a name registered under a different kind — or a
+        histogram with different bucket bounds — raises
+        :class:`~repro.errors.ObservabilityError`.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, theirs in other._gauges.items():
+            gauge = self.gauge(name)
+            if theirs.value is not None:
+                gauge.set(theirs.value)
+                if theirs.minimum is not None:
+                    gauge.minimum = (
+                        theirs.minimum
+                        if gauge.minimum is None
+                        else min(gauge.minimum, theirs.minimum)
+                    )
+                if theirs.maximum is not None:
+                    gauge.maximum = (
+                        theirs.maximum
+                        if gauge.maximum is None
+                        else max(gauge.maximum, theirs.maximum)
+                    )
+                gauge.updates += theirs.updates - 1  # set() counted one
+        for name, theirs in other._histograms.items():
+            histogram = self.histogram(name, theirs.bounds)
+            if histogram.bounds != theirs.bounds:
+                raise ObservabilityError(
+                    f"histogram {name!r} bucket bounds differ; cannot merge"
+                )
+            for i, count in enumerate(theirs.bucket_counts):
+                histogram.bucket_counts[i] += count
+            histogram.count += theirs.count
+            histogram.total += theirs.total
+            if theirs.minimum is not None:
+                histogram.minimum = (
+                    theirs.minimum
+                    if histogram.minimum is None
+                    else min(histogram.minimum, theirs.minimum)
+                )
+            if theirs.maximum is not None:
+                histogram.maximum = (
+                    theirs.maximum
+                    if histogram.maximum is None
+                    else max(histogram.maximum, theirs.maximum)
+                )
+
     # ----------------------------------------------------------------- export
 
     def snapshot(self) -> dict[str, dict[str, object]]:

@@ -219,6 +219,64 @@ class Tracer:
             )
         self._finished.append(span)
 
+    # ------------------------------------------------------------------ merge
+
+    def adopt_records(
+        self,
+        records: list[dict[str, object]],
+        *,
+        attributes: Mapping[str, AttrValue] | None = None,
+    ) -> list[Span]:
+        """Graft span records produced elsewhere into this tracer's tree.
+
+        Used by the parallel backends: a pool worker runs each task under
+        its own observation session and ships the finished span records
+        back; the parent adopts them on join. Adopted spans get fresh ids
+        (the remapping preserves the worker-side parent/child structure),
+        worker-side roots are parented under the currently open span, and
+        ``attributes`` (e.g. ``worker=<pid>``) are stamped onto every
+        adopted span. Timestamps are kept verbatim — on one host all
+        processes share the monotonic clock.
+        """
+        extra = dict(attributes or {})
+        graft_parent = self._stack[-1].span_id if self._stack else None
+        id_map: dict[object, int] = {}
+        adopted: list[Span] = []
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[record["id"]] = new_id
+            old_parent = record.get("parent")
+            if old_parent is None:
+                parent_id = graft_parent
+            else:
+                # Parents precede children in record order (sorted by
+                # start); an unknown parent means it never closed in the
+                # worker, so the span re-roots under the graft point.
+                parent_id = id_map.get(old_parent, graft_parent)
+            attrs_raw = record.get("attrs")
+            attrs: dict[str, AttrValue] = (
+                dict(attrs_raw) if isinstance(attrs_raw, dict) else {}
+            )
+            attrs.update(extra)
+            span = Span(
+                name=str(record["name"]),
+                span_id=new_id,
+                parent_id=parent_id,
+                start=float(record["start"]),  # type: ignore[arg-type]
+                end=(
+                    float(record["end"])  # type: ignore[arg-type]
+                    if record.get("end") is not None
+                    else None
+                ),
+                attributes=attrs,
+            )
+            self._finished.append(span)
+            adopted.append(span)
+        return adopted
+
     # ----------------------------------------------------------------- export
 
     def records(self) -> list[dict[str, object]]:

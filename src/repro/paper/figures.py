@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ExecutionBackend
 from ..framework import CDSFResult, Scenario, run_scenario
 from . import data
 from .example import paper_cases, paper_cdsf
@@ -70,6 +71,7 @@ def figure_series(
     replications: int | None = None,
     statistic: str = "mean",
     seed: int | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> FigureSeries:
     """Regenerate one figure's data series by simulation.
 
@@ -88,7 +90,7 @@ def figure_series(
         kwargs["seed"] = seed
     cdsf = paper_cdsf(**kwargs)
     cases = paper_cases()
-    result = run_scenario(scenario, cdsf, cases)
+    result = run_scenario(scenario, cdsf, cases, backend=backend)
     study = result.stage_ii
     rows = []
     for case in study.case_ids:

@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from ..exec import ExecutionBackend
 from ..rng import ensure_rng
 from ..system import ProcessorGroup
 from .allocation import Allocation, candidate_assignments
@@ -73,7 +74,15 @@ class AnnealingAllocator(RAHeuristic):
 
     # ------------------------------------------------------------------ core
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
+        # The annealing chain is inherently sequential (each step depends
+        # on the previous state), so ``backend`` only reaches the greedy
+        # seeding; scoring still shares the evaluator's memoization.
         gen = ensure_rng(self._rng)
         batch, system = evaluator.batch, evaluator.system
         names = list(batch.names)
@@ -88,7 +97,7 @@ class AnnealingAllocator(RAHeuristic):
 
         # Start from the greedy solution: annealing then only has to improve.
         start = GreedyRobustAllocator(power_of_two=self._power_of_two).allocate(
-            evaluator
+            evaluator, backend=backend
         )
         evaluations += start.evaluations
         best_state = {name: start.allocation.group(name) for name in names}
@@ -130,12 +139,7 @@ class AnnealingAllocator(RAHeuristic):
 
     @staticmethod
     def _rob(evaluator: StageIEvaluator, state: dict[str, ProcessorGroup]) -> float:
-        prob = 1.0
-        for name, group in state.items():
-            prob *= evaluator.app_deadline_prob(name, group)
-            if prob <= 0.0:
-                break
-        return prob
+        return evaluator.joint_probability(state)
 
     @staticmethod
     def _feasible(state: dict[str, ProcessorGroup], counts: dict[str, int]) -> bool:

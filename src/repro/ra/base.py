@@ -12,6 +12,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from ..errors import AllocationError
+from ..exec import ExecutionBackend
 from ..obs import incr, obs_enabled, observe_value
 from .allocation import Allocation
 from .robustness import StageIEvaluator
@@ -45,8 +46,19 @@ class RAHeuristic(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
-        """Produce an allocation for the evaluator's (batch, system, Delta)."""
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
+        """Produce an allocation for the evaluator's (batch, system, Delta).
+
+        ``backend`` optionally parallelizes bulk candidate scoring (see
+        :func:`repro.exec.evaluate_allocations`); inherently sequential
+        heuristics accept and ignore it. Results are identical on every
+        backend.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

@@ -16,6 +16,7 @@ take over (ablation benchmark ``abl-ra``).
 from __future__ import annotations
 
 from ..errors import InfeasibleAllocationError
+from ..exec import ExecutionBackend
 from ..system import ProcessorGroup
 from .allocation import Allocation, candidate_assignments, others_can_complete
 from .base import RAHeuristic, RAResult
@@ -45,7 +46,15 @@ class BranchAndBoundAllocator(RAHeuristic):
         self._power_of_two = power_of_two
         self._max_nodes = max_nodes
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
+        # The pruned DFS is sequential by nature (the incumbent steers
+        # the pruning); ``backend`` only reaches the greedy incumbent
+        # seeding below.
         batch, system = evaluator.batch, evaluator.system
         names = list(batch.names)
         candidates: dict[str, list[tuple[float, ProcessorGroup]]] = {}
@@ -69,7 +78,7 @@ class BranchAndBoundAllocator(RAHeuristic):
 
         # Incumbent: the greedy solution (a valid lower bound).
         seed = GreedyRobustAllocator(power_of_two=self._power_of_two).allocate(
-            evaluator
+            evaluator, backend=backend
         )
         evaluations += seed.evaluations
         incumbent = {n: seed.allocation.group(n) for n in names}

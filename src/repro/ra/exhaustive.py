@@ -11,7 +11,10 @@ it is the ground truth against which the scalable heuristics
 
 from __future__ import annotations
 
+from itertools import islice
+
 from ..errors import InfeasibleAllocationError
+from ..exec import ExecutionBackend, SerialBackend, evaluate_allocations
 from .allocation import enumerate_allocations
 from .base import RAHeuristic, RAResult
 from .robustness import StageIEvaluator
@@ -39,24 +42,48 @@ class ExhaustiveAllocator(RAHeuristic):
         self._power_of_two = power_of_two
         self._max_evaluations = max_evaluations
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
+        serial = (
+            backend is None
+            or isinstance(backend, SerialBackend)
+            or backend.workers <= 1
+        )
+        # Parallel path: materialize bounded windows of the enumeration,
+        # fan each window out, and reduce scores *in enumeration order* so
+        # the first-wins tie-break matches the serial loop exactly.
+        window = 1 if serial else max(256, 16 * backend.workers)
         best = None
         best_key: tuple[float, int] | None = None
         evaluations = 0
-        for allocation in enumerate_allocations(
+        iterator = enumerate_allocations(
             evaluator.batch, evaluator.system, power_of_two=self._power_of_two
-        ):
-            evaluations += 1
+        )
+        while True:
+            chunk = list(islice(iterator, window))
+            if not chunk:
+                break
+            evaluations += len(chunk)
             if evaluations > self._max_evaluations:
                 raise InfeasibleAllocationError(
                     f"exhaustive search exceeded {self._max_evaluations} "
                     "allocations; use a scalable heuristic (greedy, min-min, "
                     "annealing, genetic) for instances of this size"
                 )
-            rob = evaluator.robustness(allocation)
-            key = (rob, -allocation.total_processors())
-            if best_key is None or key > best_key:
-                best, best_key = allocation, key
+            if serial:
+                scores = [evaluator.robustness(a) for a in chunk]
+            else:
+                scores = evaluate_allocations(
+                    evaluator, [dict(a.items()) for a in chunk], backend
+                )
+            for allocation, rob in zip(chunk, scores):
+                key = (rob, -allocation.total_processors())
+                if best_key is None or key > best_key:
+                    best, best_key = allocation, key
         if best is None:
             raise InfeasibleAllocationError("no feasible allocation exists")
         return RAResult(

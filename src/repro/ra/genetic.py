@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InfeasibleAllocationError
+from ..exec import ExecutionBackend, evaluate_allocations
 from ..rng import ensure_rng
 from ..system import ProcessorGroup
 from .allocation import Allocation, candidate_assignments
@@ -73,7 +74,12 @@ class GeneticAllocator(RAHeuristic):
 
     # ------------------------------------------------------------------ main
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
         gen = ensure_rng(self._rng)
         batch, system = evaluator.batch, evaluator.system
         names = list(batch.names)
@@ -134,14 +140,15 @@ class GeneticAllocator(RAHeuristic):
                     chrom[names.index(victim)] = other[int(gen.integers(len(other)))]
             raise InfeasibleAllocationError("GA repair failed to converge")
 
-        def fitness(chrom: np.ndarray) -> float:
-            state = decode(chrom)
-            prob = 1.0
-            for name, group in state.items():
-                prob *= evaluator.app_deadline_prob(name, group)
-                if prob <= 0.0:
-                    break
-            return prob
+        def population_fitness(chroms: list[np.ndarray]) -> np.ndarray:
+            # One fan-out per generation through the shared stage-I
+            # evaluation path (memoized serially, chunked on a parallel
+            # backend).
+            return np.array(
+                evaluate_allocations(
+                    evaluator, [decode(c) for c in chroms], backend
+                )
+            )
 
         # Initial population: random chromosomes, repaired.
         pop = [
@@ -152,7 +159,7 @@ class GeneticAllocator(RAHeuristic):
             )
             for _ in range(self._population)
         ]
-        fit = np.array([fitness(c) for c in pop])
+        fit = population_fitness(pop)
         evaluations += len(pop)
 
         for _ in range(self._generations):
@@ -170,7 +177,7 @@ class GeneticAllocator(RAHeuristic):
                         child[k] = gen.integers(len(candidates[name]))
                 new_pop.append(repair(child))
             pop = new_pop
-            fit = np.array([fitness(c) for c in pop])
+            fit = population_fitness(pop)
             evaluations += len(pop)
 
         best_idx = int(np.argmax(fit))

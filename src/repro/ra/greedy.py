@@ -18,6 +18,7 @@ candidate groups, versus the exhaustive ``O(C^N)``.
 from __future__ import annotations
 
 from ..errors import InfeasibleAllocationError
+from ..exec import ExecutionBackend
 from ..system import ProcessorGroup
 from .allocation import Allocation, candidate_assignments, others_can_complete
 from .base import RAHeuristic, RAResult
@@ -38,7 +39,15 @@ class _GreedyBase(RAHeuristic):
     ) -> float:
         raise NotImplementedError
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
+        # Greedy is a sequential chain of per-assignment scores, all
+        # served by the evaluator's memoization; ``backend`` is accepted
+        # for interface uniformity but has nothing to parallelize.
         batch, system = evaluator.batch, evaluator.system
         candidates = {
             name: candidate_assignments(

@@ -24,6 +24,7 @@ exhaustive search.
 from __future__ import annotations
 
 from ..errors import InfeasibleAllocationError
+from ..exec import ExecutionBackend
 from ..system import ProcessorGroup
 from .allocation import Allocation, candidate_assignments, others_can_complete
 from .base import RAHeuristic, RAResult
@@ -60,7 +61,16 @@ class _RoundRobinBase(RAHeuristic):
         """
         raise NotImplementedError
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
+        # Round-based assignment is sequential (each round's feasibility
+        # depends on the previous picks); per-assignment scores come from
+        # the evaluator's memoization, so ``backend`` is accepted only
+        # for interface uniformity.
         batch, system = evaluator.batch, evaluator.system
         candidates = {
             name: candidate_assignments(

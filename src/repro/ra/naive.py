@@ -14,6 +14,7 @@ app1 -> 4 x type2, app2 -> 4 x type1, app3 -> 4 x type2 with phi_1 = 26%.
 from __future__ import annotations
 
 from ..errors import InfeasibleAllocationError
+from ..exec import ExecutionBackend, evaluate_allocations
 from .allocation import enumerate_allocations
 from .base import RAHeuristic, RAResult
 from .robustness import StageIEvaluator
@@ -36,7 +37,12 @@ class EqualShareAllocator(RAHeuristic):
     def __init__(self, *, power_of_two: bool = True) -> None:
         self._power_of_two = power_of_two
 
-    def allocate(self, evaluator: StageIEvaluator) -> RAResult:
+    def allocate(
+        self,
+        evaluator: StageIEvaluator,
+        *,
+        backend: ExecutionBackend | None = None,
+    ) -> RAResult:
         batch = evaluator.batch
         system = evaluator.system
         n_apps = len(batch)
@@ -62,18 +68,23 @@ class EqualShareAllocator(RAHeuristic):
             best = None
             best_rob = -1.0
             try:
-                for allocation in enumerate_allocations(
-                    batch,
-                    system,
-                    power_of_two=self._power_of_two,
-                    sizes_filter={s},
-                ):
-                    evaluations += 1
-                    rob = evaluator.robustness(allocation)
-                    if rob > best_rob:
-                        best, best_rob = allocation, rob
+                allocations = list(
+                    enumerate_allocations(
+                        batch,
+                        system,
+                        power_of_two=self._power_of_two,
+                        sizes_filter={s},
+                    )
+                )
             except InfeasibleAllocationError:
                 continue
+            evaluations += len(allocations)
+            scores = evaluate_allocations(
+                evaluator, [dict(a.items()) for a in allocations], backend
+            )
+            for allocation, rob in zip(allocations, scores):
+                if rob > best_rob:
+                    best, best_rob = allocation, rob
             if best is not None:
                 return RAResult(
                     allocation=best,

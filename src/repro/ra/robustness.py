@@ -14,6 +14,7 @@ share assignments.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..apps import Application, Batch
@@ -57,8 +58,19 @@ class StageIEvaluator:
 
     The availability PMFs used are those carried by the *system* passed in —
     stage I evaluates against the historical/expected availability (the
-    paper's case 1). Completion PMFs are memoized by
-    ``(app name, type name, group size)``.
+    paper's case 1). This is the one evaluation path shared by every RA
+    heuristic, and it memoizes both layers of the phi_1 algebra per
+    ``(app name, type name, group size)`` assignment:
+
+    * the effective completion-time PMF (Eq. 2 composed with the
+      availability dilation) — the expensive construction;
+    * the deadline probability ``Pr(T_i^eff <= Delta)`` — so candidate
+      evaluations that revisit an assignment (population-based searches
+      revisit constantly) cost one dict lookup.
+
+    Cache traffic is counted locally (:meth:`cache_info`) and, when
+    observation is active, on the ``ra.pmf_cache.*`` / ``ra.prob_cache.*``
+    counters.
     """
 
     def __init__(
@@ -70,6 +82,11 @@ class StageIEvaluator:
         self._system = system
         self._deadline = deadline
         self._pmf_cache: dict[tuple[str, str, int], PMF] = {}
+        self._prob_cache: dict[tuple[str, str, int], float] = {}
+        self._pmf_hits = 0
+        self._pmf_misses = 0
+        self._prob_hits = 0
+        self._prob_misses = 0
 
     @property
     def batch(self) -> Batch:
@@ -97,18 +114,44 @@ class StageIEvaluator:
         key = (app_name, group.ptype.name, group.size)
         pmf = self._pmf_cache.get(key)
         if pmf is None:
+            self._pmf_misses += 1
             own_group = self._system.group(group.ptype.name, group.size)
             pmf = completion_pmf(self._batch.app(app_name), own_group)
             self._pmf_cache[key] = pmf
             if obs_enabled():
                 incr("ra.pmf_cache.miss")
-        elif obs_enabled():
-            incr("ra.pmf_cache.hit")
+        else:
+            self._pmf_hits += 1
+            if obs_enabled():
+                incr("ra.pmf_cache.hit")
         return pmf
 
     def app_deadline_prob(self, app_name: str, group: ProcessorGroup) -> float:
-        """``Pr(T_i^eff <= Delta)`` for one assignment."""
-        return self.app_completion_pmf(app_name, group).prob_leq(self._deadline)
+        """``Pr(T_i^eff <= Delta)`` for one assignment (memoized)."""
+        key = (app_name, group.ptype.name, group.size)
+        prob = self._prob_cache.get(key)
+        if prob is None:
+            self._prob_misses += 1
+            prob = self.app_completion_pmf(app_name, group).prob_leq(
+                self._deadline
+            )
+            self._prob_cache[key] = prob
+            if obs_enabled():
+                incr("ra.prob_cache.miss")
+        else:
+            self._prob_hits += 1
+            if obs_enabled():
+                incr("ra.prob_cache.hit")
+        return prob
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss totals of the two memoization layers."""
+        return {
+            "pmf_hits": self._pmf_hits,
+            "pmf_misses": self._pmf_misses,
+            "prob_hits": self._prob_hits,
+            "prob_misses": self._prob_misses,
+        }
 
     def app_expected_time(self, app_name: str, group: ProcessorGroup) -> float:
         """Expected effective completion time for one assignment."""
@@ -116,18 +159,31 @@ class StageIEvaluator:
 
     # ------------------------------------------------------------ allocation
 
-    def robustness(self, allocation: Allocation) -> float:
-        """phi_1 of an allocation: joint deadline probability."""
+    def joint_probability(
+        self, assignments: Mapping[str, ProcessorGroup]
+    ) -> float:
+        """Joint deadline probability of an app->group assignment map.
+
+        The shared candidate-scoring path: heuristics evaluate raw
+        assignment mappings (population members, search neighbors)
+        through this method so every evaluation hits the same memoized
+        per-assignment probabilities. Multiplication short-circuits at
+        zero.
+        """
         if obs_enabled():
             incr("ra.candidate_evaluations")
-        if contracts_enabled():
-            check_allocation_feasible(allocation, self._system, self._batch)
         prob = 1.0
-        for app_name, group in allocation.items():
+        for app_name, group in assignments.items():
             prob *= self.app_deadline_prob(app_name, group)
             if prob <= 0.0:
                 break
         return prob
+
+    def robustness(self, allocation: Allocation) -> float:
+        """phi_1 of an allocation: joint deadline probability."""
+        if contracts_enabled():
+            check_allocation_feasible(allocation, self._system, self._batch)
+        return self.joint_probability(dict(allocation.items()))
 
     def makespan_pmf(self, allocation: Allocation) -> PMF:
         """Exact PMF of the system makespan ``Psi`` under an allocation.

@@ -14,6 +14,8 @@ from .loopsim import (
     LoopSimConfig,
     simulate_application,
     replicate_application,
+    replication_seeds,
+    run_seeded_replications,
     DEFAULT_OVERHEAD,
     DEFAULT_AVAIL_INTERVAL,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "LoopSimConfig",
     "simulate_application",
     "replicate_application",
+    "replication_seeds",
+    "run_seeded_replications",
     "TimestepResult",
     "TimesteppedRunResult",
     "simulate_timestepped",

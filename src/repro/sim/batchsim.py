@@ -13,7 +13,9 @@ from collections.abc import Mapping
 from ..apps import Batch
 from ..dls import DLSTechnique
 from ..errors import SimulationError
+from ..exec.seeds import SeedTree
 from ..ra import Allocation
+from ..rng import DEFAULT_SEED
 from .loopsim import LoopSimConfig, simulate_application
 from .results import BatchRunResult, ReplicatedAppStats, ReplicatedBatchStats
 
@@ -46,17 +48,20 @@ def simulate_batch(
 
     ``techniques`` is either a single technique used for every application
     (as distinct sessions) or a per-application mapping. Each application
-    gets an independent seed derived from ``seed`` and its batch position.
+    gets an independent seed from the tree path ``("app", name)`` —
+    derived from *which* application it is, so reordering or dropping
+    batch members never perturbs the others. ``seed=None`` falls back to
+    the library's deterministic default root.
     """
-    base = seed if seed is not None else 0
+    tree = SeedTree(seed if seed is not None else DEFAULT_SEED)
     app_results = {}
-    for idx, app in enumerate(batch):
+    for app in batch:
         technique = _technique_for(techniques, app.name)
         app_results[app.name] = simulate_application(
             app,
             allocation.group(app.name),
             technique,
-            seed=base * 7_368_787 + idx,
+            seed=tree.child("app", app.name).seed(),
             config=config,
         )
     return BatchRunResult(app_results=app_results, deadline=deadline)
@@ -75,7 +80,7 @@ def replicate_batch(
     """Replicate :func:`simulate_batch`; aggregate per-app and system stats."""
     if replications < 1:
         raise SimulationError(f"need >= 1 replication, got {replications}")
-    base = seed if seed is not None else 0
+    tree = SeedTree(seed if seed is not None else DEFAULT_SEED)
     per_app_makespans: dict[str, list[float]] = {a.name: [] for a in batch}
     system_makespans = []
     technique_names: dict[str, str] = {}
@@ -85,7 +90,7 @@ def replicate_batch(
             allocation,
             techniques,
             deadline=deadline,
-            seed=base * 1_000_003 + r,
+            seed=tree.child("rep", r).seed(),
             config=config,
         )
         system_makespans.append(run.makespan)

@@ -22,6 +22,9 @@ import numpy as np
 from ..apps import Application
 from ..dls import DLSTechnique, WorkerState
 from ..errors import SimulationError
+from ..exec.backends import ExecutionBackend, SerialBackend
+from ..exec.seeds import SeedTree
+from ..exec.tasks import ReplicateTask
 from ..obs import incr, obs_enabled, observe_value, span
 from ..rng import spawn_rngs
 from ..system import (
@@ -33,7 +36,13 @@ from .events import EventQueue
 from .results import AppRunResult, ChunkRecord, ReplicatedAppStats
 from .worker import SimWorker
 
-__all__ = ["LoopSimConfig", "simulate_application", "replicate_application"]
+__all__ = [
+    "LoopSimConfig",
+    "simulate_application",
+    "replicate_application",
+    "replication_seeds",
+    "run_seeded_replications",
+]
 
 #: Default wall-clock cost of dispatching one chunk (master round-trip).
 DEFAULT_OVERHEAD = 1.0
@@ -268,6 +277,58 @@ def _simulate_application(
     )
 
 
+def replication_seeds(seed: int | None, replications: int) -> tuple[int, ...]:
+    """One independent derived seed per replication, in replication order.
+
+    Seeds come from the :class:`~repro.exec.seeds.SeedTree` path
+    ``("rep", r)``, so replication ``r`` is the same no matter how the
+    replications are later split across tasks or processes, and adding
+    replications never perturbs earlier ones. ``seed=None`` draws fresh
+    OS entropy (a genuinely new experiment); pass an explicit seed for
+    reproducibility.
+    """
+    if replications < 1:
+        raise SimulationError(f"need >= 1 replication, got {replications}")
+    tree = SeedTree(seed)
+    return tuple(tree.child("rep", r).seed() for r in range(replications))
+
+
+def run_seeded_replications(
+    app: Application,
+    group: ProcessorGroup,
+    technique: DLSTechnique,
+    seeds: tuple[int, ...],
+    *,
+    config: LoopSimConfig | None = None,
+    availability: AvailabilityModel | list[AvailabilityModel] | None = None,
+) -> tuple[float, ...]:
+    """Makespans of one simulation per pre-derived seed, in seed order.
+
+    This is the body shared by the serial loop in
+    :func:`replicate_application` and the pool-side
+    :meth:`repro.exec.tasks.ReplicateTask.run`, which is what guarantees
+    backends agree bit for bit.
+    """
+    makespans = []
+    with span(
+        "sim.replicate",
+        app=app.name,
+        technique=technique.name,
+        replications=len(seeds),
+    ):
+        for s in seeds:
+            result = simulate_application(
+                app,
+                group,
+                technique,
+                seed=s,
+                config=config,
+                availability=availability,
+            )
+            makespans.append(result.makespan)
+    return tuple(makespans)
+
+
 def replicate_application(
     app: Application,
     group: ProcessorGroup,
@@ -277,34 +338,51 @@ def replicate_application(
     seed: int | None = None,
     config: LoopSimConfig | None = None,
     availability: AvailabilityModel | list[AvailabilityModel] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ReplicatedAppStats:
     """Run ``replications`` independent simulations; aggregate makespans.
 
-    Replication ``r`` uses root seed ``(seed, r)`` derived deterministically,
-    so adding replications never perturbs earlier ones.
+    Per-replication seeds come from :func:`replication_seeds`:
+    ``seed=None`` means fresh entropy, an explicit seed is fully
+    reproducible. With a parallel ``backend`` (and the default runtime
+    availability model) the replications are split into
+    :class:`~repro.exec.tasks.ReplicateTask` chunks; because every
+    replication carries its own pre-derived seed, the results are
+    identical to the serial loop.
     """
-    if replications < 1:
-        raise SimulationError(f"need >= 1 replication, got {replications}")
-    base = seed if seed is not None else 0
-    makespans = []
-    with span(
-        "sim.replicate",
-        app=app.name,
-        technique=technique.name,
-        replications=replications,
+    seeds = replication_seeds(seed, replications)
+    if (
+        backend is None
+        or isinstance(backend, SerialBackend)
+        or backend.workers <= 1
+        or replications < 2
+        or availability is not None
     ):
-        for r in range(replications):
-            result = simulate_application(
-                app,
-                group,
-                technique,
-                seed=base * 1_000_003 + r,
+        makespans = run_seeded_replications(
+            app, group, technique, seeds,
+            config=config, availability=availability,
+        )
+    else:
+        n_chunks = min(replications, backend.workers * 2)
+        bounds = [
+            (replications * k) // n_chunks for k in range(n_chunks + 1)
+        ]
+        tasks = [
+            ReplicateTask(
+                app=app,
+                group=group,
+                technique=technique,
+                seeds=seeds[lo:hi],
                 config=config,
-                availability=availability,
             )
-            makespans.append(result.makespan)
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+        makespans = tuple(
+            m for chunk in backend.run_tasks(tasks) for m in chunk
+        )
     return ReplicatedAppStats(
         app_name=app.name,
         technique=technique.name,
-        makespans=tuple(makespans),
+        makespans=makespans,
     )

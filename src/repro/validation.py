@@ -24,6 +24,7 @@ import numpy as np
 from .apps import Application
 from .dls import Static
 from .errors import ModelError
+from .exec import SeedTree
 from .pmf import PMF, effective_completion_pmf
 from .sim import LoopSimConfig, simulate_application
 from .system import HeterogeneousSystem, ProcessorType, ResampledAvailability
@@ -156,13 +157,14 @@ def validate_single_processor_model(
     group = system.group(type_name, 1)
     # One availability draw per run: interval far beyond any makespan.
     model = ResampledAvailability(availability_pmf, interval=1e12)
+    tree = SeedTree(seed)
     makespans = []
     for r in range(replications):
         result = simulate_application(
             det_app,
             group,
             Static(),
-            seed=seed * 99_991 + r,
+            seed=tree.child("rep", r).seed(),
             config=LoopSimConfig(overhead=0.0),
             availability=model,
         )

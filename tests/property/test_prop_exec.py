@@ -1,0 +1,129 @@
+"""Property-based tests of backend invariance (hypothesis).
+
+The central promise of :mod:`repro.exec`: a backend chooses *where*
+tasks run, never *what* they compute. For arbitrary small instances the
+stage-II study grid and the stage-I optimum must be bit-for-bit
+identical between :class:`SerialBackend` and a two-worker
+:class:`ProcessPoolBackend`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Application, Batch, normal_exectime_model
+from repro.exec import ProcessPoolBackend, SerialBackend
+from repro.framework import DLSStudy, StudyConfig
+from repro.pmf import percent_availability
+from repro.ra import ExhaustiveAllocator, StageIEvaluator
+from repro.sim import LoopSimConfig
+from repro.system import HeterogeneousSystem, ProcessorType
+
+
+@pytest.fixture(scope="module")
+def pool():
+    backend = ProcessPoolBackend(2)
+    yield backend
+    backend.close()
+
+
+@st.composite
+def instances(draw):
+    """A small two-type, two-application instance plus study knobs."""
+    avail1 = draw(st.sampled_from([(50, 50), (75, 25), (100, 0)]))
+    avail2 = draw(st.sampled_from([(25, 75), (100, 0)]))
+    t1 = draw(st.sampled_from([1200.0, 2000.0]))
+    t2 = draw(st.sampled_from([1500.0, 3000.0]))
+    cv = draw(st.sampled_from([0.0, 0.2]))
+    seed = draw(st.integers(0, 2**16))
+    system = HeterogeneousSystem(
+        [
+            ProcessorType(
+                "type1",
+                4,
+                availability=percent_availability(
+                    [(avail1[0], 60), (100, 40)]
+                ),
+            ),
+            ProcessorType(
+                "type2",
+                4,
+                availability=percent_availability(
+                    [(avail2[0], 30), (100, 70)]
+                ),
+            ),
+        ]
+    )
+    batch = Batch(
+        [
+            Application(
+                "appA",
+                64,
+                512,
+                normal_exectime_model({"type1": t1, "type2": 2.0 * t1}, cv=cv),
+                iteration_cv=cv,
+            ),
+            Application(
+                "appB",
+                32,
+                1024,
+                normal_exectime_model({"type1": 2.0 * t2, "type2": t2}, cv=cv),
+                iteration_cv=cv,
+            ),
+        ]
+    )
+    return system, batch, seed
+
+
+def _grid(result):
+    return (
+        result.case_ids,
+        result.technique_names,
+        result.app_names,
+        result.stats,
+        {
+            case: {
+                tech: {
+                    app: stats.makespans
+                    for app, stats in by_app.items()
+                }
+                for tech, by_app in by_tech.items()
+            }
+            for case, by_tech in result.raw.items()
+        },
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(instances())
+def test_study_grid_identical_across_backends(pool, bundle):
+    system, batch, seed = bundle
+    evaluator = StageIEvaluator(batch, system, 4000.0)
+    allocation = ExhaustiveAllocator().allocate(evaluator).allocation
+    config = StudyConfig(
+        deadline=4000.0,
+        replications=3,
+        seed=seed,
+        sim=LoopSimConfig(overhead=0.5, availability_interval=500.0),
+    )
+    study = DLSStudy(batch, allocation, config)
+    cases = {"case1": system}
+    serial = study.run(cases, ["FAC", "WF"], backend=SerialBackend())
+    pooled = study.run(cases, ["FAC", "WF"], backend=pool)
+    assert _grid(pooled) == _grid(serial)
+
+
+@settings(max_examples=6, deadline=None)
+@given(instances())
+def test_stage_i_optimum_identical_across_backends(pool, bundle):
+    system, batch, _seed = bundle
+    evaluator = StageIEvaluator(batch, system, 4000.0)
+    serial = ExhaustiveAllocator().allocate(evaluator, backend=SerialBackend())
+    pooled = ExhaustiveAllocator().allocate(evaluator, backend=pool)
+    assert {
+        name: (g.ptype.name, g.size) for name, g in pooled.allocation.items()
+    } == {
+        name: (g.ptype.name, g.size) for name, g in serial.allocation.items()
+    }
+    assert pooled.robustness == serial.robustness
+    assert pooled.evaluations == serial.evaluations

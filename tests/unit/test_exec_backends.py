@@ -1,0 +1,201 @@
+"""Unit tests of the execution backends (repro.exec.backends).
+
+The contract under test: a backend only chooses *where* tasks run —
+task order, results, and (with per-task seeds) every simulated draw are
+identical between :class:`SerialBackend` and :class:`ProcessPoolBackend`.
+"""
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro import obs
+from repro.dls import make_technique
+from repro.errors import ExecutionError
+from repro.exec import (
+    ENV_WORKERS,
+    ProcessPoolBackend,
+    ReplicateTask,
+    SerialBackend,
+    Task,
+    default_workers,
+    get_backend,
+)
+from repro.sim import LoopSimConfig, replicate_application, replication_seeds
+
+
+@dataclass(frozen=True)
+class SquareTask:
+    """Minimal picklable task for plumbing tests."""
+
+    value: int
+
+    def run(self) -> int:
+        return self.value * self.value
+
+
+@pytest.fixture
+def pool():
+    backend = ProcessPoolBackend(2)
+    yield backend
+    backend.close()
+
+
+class TestDefaultWorkers:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert default_workers() == 1
+
+    def test_env_value_parsed(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "4")
+        assert default_workers() == 4
+
+    @pytest.mark.parametrize("raw", ["zero", "1.5", "0", "-2"])
+    def test_bad_values_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_WORKERS, raw)
+        with pytest.raises(ExecutionError):
+            default_workers()
+
+
+class TestGetBackend:
+    def test_one_worker_is_serial(self):
+        backend = get_backend(1)
+        assert isinstance(backend, SerialBackend)
+        assert backend.workers == 1
+
+    def test_many_workers_is_pool(self):
+        with get_backend(3) as backend:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.workers == 3
+
+    def test_default_comes_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert isinstance(get_backend(), SerialBackend)
+        monkeypatch.setenv(ENV_WORKERS, "2")
+        with get_backend() as backend:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.workers == 2
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ExecutionError):
+            get_backend(0)
+        with pytest.raises(ExecutionError):
+            ProcessPoolBackend(0)
+
+
+class TestSerialBackend:
+    def test_runs_in_order(self):
+        backend = SerialBackend()
+        tasks = [SquareTask(v) for v in range(6)]
+        assert backend.run_tasks(tasks) == [v * v for v in range(6)]
+
+    def test_empty_batch(self):
+        assert SerialBackend().run_tasks([]) == []
+
+    def test_context_manager(self):
+        with SerialBackend() as backend:
+            assert backend.workers == 1
+
+
+class TestTaskPickling:
+    def test_square_task_satisfies_protocol(self):
+        assert isinstance(SquareTask(2), Task)
+
+    def test_replicate_task_roundtrips(self, tiny_app, dedicated_system):
+        task = ReplicateTask(
+            app=tiny_app,
+            group=dedicated_system.group("fast", 4),
+            technique=make_technique("FAC"),
+            seeds=replication_seeds(7, 3),
+            config=LoopSimConfig(overhead=0.5),
+            tag=("case1", "FAC", "tiny"),
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.run() == task.run()
+
+
+class TestProcessPoolBackend:
+    def test_matches_serial_order_and_values(self, pool):
+        tasks = [SquareTask(v) for v in range(8)]
+        assert pool.run_tasks(tasks) == SerialBackend().run_tasks(tasks)
+
+    def test_empty_batch_skips_pool_spinup(self, pool):
+        assert pool.run_tasks([]) == []
+        assert pool._executor is None
+
+    def test_executor_persists_across_batches(self, pool):
+        pool.run_tasks([SquareTask(1)])
+        first = pool._executor
+        pool.run_tasks([SquareTask(2)])
+        assert pool._executor is first
+        pool.close()
+        assert pool._executor is None
+
+    def test_replications_identical_to_serial(
+        self, pool, tiny_app, dedicated_system
+    ):
+        group = dedicated_system.group("fast", 4)
+        kwargs = dict(
+            replications=4, seed=11, config=LoopSimConfig(overhead=0.5)
+        )
+        serial = replicate_application(
+            tiny_app, group, make_technique("FAC"), **kwargs
+        )
+        pooled = replicate_application(
+            tiny_app, group, make_technique("FAC"), backend=pool, **kwargs
+        )
+        assert pooled.makespans == serial.makespans
+
+
+class TestWorkerObservability:
+    def test_adopted_spans_carry_worker_attribute(
+        self, pool, tiny_app, dedicated_system
+    ):
+        group = dedicated_system.group("fast", 4)
+        with obs.observed() as session:
+            with obs.span("parent"):
+                replicate_application(
+                    tiny_app,
+                    group,
+                    make_technique("FAC"),
+                    replications=4,
+                    seed=3,
+                    backend=pool,
+                )
+        records = session.tracer.records()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        adopted = by_name.get("sim.replicate", [])
+        assert adopted, "worker spans were not merged into the parent trace"
+        parent_ids = {r["id"] for r in by_name["parent"]}
+        for record in adopted:
+            assert record["attrs"]["worker"] > 0
+            assert record["parent"] in parent_ids
+        # Worker sim.app spans reparent under the adopted roots.
+        replicate_ids = {r["id"] for r in adopted}
+        assert any(
+            r["parent"] in replicate_ids for r in by_name.get("sim.app", [])
+        )
+
+    def test_worker_metrics_merge_into_parent(
+        self, pool, tiny_app, dedicated_system
+    ):
+        group = dedicated_system.group("fast", 4)
+        with obs.observed() as session:
+            replicate_application(
+                tiny_app,
+                group,
+                make_technique("FAC"),
+                replications=4,
+                seed=3,
+                backend=pool,
+            )
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["exec.tasks"] >= 1
+        assert counters["sim.apps"] == 4.0
+
+    def test_unobserved_run_stays_unobserved(self, pool):
+        assert obs.current() is None
+        assert pool.run_tasks([SquareTask(3)]) == [9]

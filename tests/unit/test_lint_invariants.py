@@ -69,6 +69,26 @@ class TestRngConstruction:
         )
         assert findings == []
 
+    def test_exec_seeds_module_is_exempt(self):
+        findings = lint_sources(
+            {
+                "exec/seeds.py": (
+                    "import numpy as np\n"
+                    "def seed_for(path):\n"
+                    "    return np.random.SeedSequence(0, spawn_key=path)\n"
+                )
+            },
+            select=["RNG001"],
+        )
+        assert findings == []
+
+    def test_other_exec_modules_not_exempt(self):
+        findings = lint_sources(
+            {"exec/backends.py": "import numpy as np\nx = np.random.normal()\n"},
+            select=["RNG001"],
+        )
+        assert rule_ids(findings) == ["RNG001"]
+
     def test_clean_module_passes(self):
         findings = lint_sources(
             {
@@ -523,6 +543,70 @@ class TestWallClock:
         assert findings == []
 
 
+# ------------------------------------------------------------------ execution
+
+
+class TestProcessFanout:
+    def test_flags_multiprocessing_import(self):
+        findings = lint_sources(
+            {"sim/foo.py": "import multiprocessing\n"},
+            select=["EXEC001"],
+        )
+        assert rule_ids(findings) == ["EXEC001"]
+        assert findings[0].line == 1
+
+    def test_flags_multiprocessing_submodule(self):
+        findings = lint_sources(
+            {"framework/foo.py": "from multiprocessing.pool import Pool\n"},
+            select=["EXEC001"],
+        )
+        assert rule_ids(findings) == ["EXEC001"]
+
+    def test_flags_concurrent_futures_import(self):
+        findings = lint_sources(
+            {
+                "ra/foo.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                )
+            },
+            select=["EXEC001"],
+        )
+        assert rule_ids(findings) == ["EXEC001"]
+
+    def test_flags_from_concurrent_import_futures(self):
+        findings = lint_sources(
+            {"ra/foo.py": "from concurrent import futures\n"},
+            select=["EXEC001"],
+        )
+        assert rule_ids(findings) == ["EXEC001"]
+
+    def test_exec_package_exempt(self):
+        findings = lint_sources(
+            {
+                "exec/backends.py": (
+                    "import multiprocessing\n"
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                )
+            },
+            select=["EXEC001"],
+        )
+        assert findings == []
+
+    def test_backend_users_pass(self):
+        findings = lint_sources(
+            {
+                "framework/foo.py": (
+                    "from ..exec import get_backend\n"
+                    "def run(tasks):\n"
+                    "    with get_backend() as backend:\n"
+                    "        return backend.run_tasks(tasks)\n"
+                )
+            },
+            select=["EXEC001"],
+        )
+        assert findings == []
+
+
 # ----------------------------------------------------------------- framework
 
 
@@ -568,6 +652,7 @@ class TestFramework:
             "ALL003",
             "OBS001",
             "OBS002",
+            "EXEC001",
         } <= known_ids()
 
 

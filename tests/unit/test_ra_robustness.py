@@ -68,6 +68,58 @@ class TestEvaluator:
         second = evaluator.app_completion_pmf("app1", group)
         assert first is second  # memoized
 
+    def test_joint_probability_matches_robustness(
+        self, evaluator, paper_like_system
+    ):
+        alloc = paper_alloc(paper_like_system, ROBUST)
+        assert evaluator.joint_probability(dict(alloc.items())) == (
+            evaluator.robustness(alloc)
+        )
+
+    def test_cache_info_counts_hits_and_misses(
+        self, paper_like_batch, paper_like_system
+    ):
+        evaluator = StageIEvaluator(paper_like_batch, paper_like_system, 3250.0)
+        group = paper_like_system.group("type1", 2)
+        assert evaluator.cache_info() == {
+            "pmf_hits": 0,
+            "pmf_misses": 0,
+            "prob_hits": 0,
+            "prob_misses": 0,
+        }
+        evaluator.app_deadline_prob("app1", group)
+        info = evaluator.cache_info()
+        assert info["prob_misses"] == 1 and info["pmf_misses"] == 1
+        evaluator.app_deadline_prob("app1", group)
+        evaluator.app_deadline_prob("app1", group)
+        info = evaluator.cache_info()
+        assert info["prob_hits"] == 2
+        assert info["prob_misses"] == 1
+        # The prob layer short-circuits, so the PMF cache is untouched.
+        assert info["pmf_hits"] == 0
+
+    def test_cache_keyed_by_assignment_not_group_identity(
+        self, evaluator, paper_like_system
+    ):
+        a = paper_like_system.group("type1", 2)
+        b = paper_like_system.group("type1", 2)
+        evaluator.app_deadline_prob("app1", a)
+        evaluator.app_deadline_prob("app1", b)
+        assert evaluator.cache_info()["prob_hits"] == 1
+
+    def test_cache_counters_reach_obs(self, evaluator, paper_like_system):
+        from repro import obs
+
+        group = paper_like_system.group("type1", 2)
+        with obs.observed() as session:
+            evaluator.app_deadline_prob("app1", group)
+            evaluator.app_deadline_prob("app1", group)
+            evaluator.joint_probability({"app1": group})
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["ra.prob_cache.miss"] == 1.0
+        assert counters["ra.prob_cache.hit"] == 2.0
+        assert counters["ra.candidate_evaluations"] == 1.0
+
     def test_probability_monotone_in_deadline(
         self, paper_like_batch, paper_like_system
     ):

@@ -167,6 +167,37 @@ class TestReplication:
                 tiny_app, group, make_technique("STATIC"), replications=0
             )
 
+    def test_no_seed_means_fresh_entropy(
+        self, paper_like_batch, paper_like_system
+    ):
+        """``seed=None`` draws a new experiment, not a replay of seed 0."""
+        app = paper_like_batch.app("app1")
+        group = paper_like_system.group("type1", 2)
+        a = replicate_application(
+            app, group, make_technique("FAC"), replications=3, seed=None
+        )
+        b = replicate_application(
+            app, group, make_technique("FAC"), replications=3, seed=None
+        )
+        zero = replicate_application(
+            app, group, make_technique("FAC"), replications=3, seed=0
+        )
+        assert a.makespans != b.makespans
+        assert a.makespans != zero.makespans
+
+    def test_explicit_seed_reproducible(
+        self, paper_like_batch, paper_like_system
+    ):
+        app = paper_like_batch.app("app1")
+        group = paper_like_system.group("type1", 2)
+        a = replicate_application(
+            app, group, make_technique("FAC"), replications=3, seed=17
+        )
+        b = replicate_application(
+            app, group, make_technique("FAC"), replications=3, seed=17
+        )
+        assert a.makespans == b.makespans
+
     def test_prefix_stability(self, paper_like_batch, paper_like_system):
         """Extending the replication count keeps the earlier replications."""
         app = paper_like_batch.app("app1")
