@@ -1,0 +1,94 @@
+"""Benchmark: robustness degradation and simulator cost under fault injection.
+
+Sweeps the chaos fault rate over the paper's scenario-4 study and reports
+how the robustness tuple (rho1, rho2) degrades as workers crash, stall,
+and slow down mid-loop, plus the wall-clock overhead the fault machinery
+adds to the stage-II simulation (the zero-rate plan must be free).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.framework import FaultImpact, Scenario, run_scenario
+from repro.paper import PAPER_SIM_CONFIG, paper_cases, paper_cdsf
+
+SEED = 2012
+REPLICATIONS = 2
+RATES = (0.0, 1e-5, 1e-4, 5e-4)
+
+
+def _run(rate: float):
+    sim = PAPER_SIM_CONFIG
+    if rate > 0.0:
+        sim = replace(sim, faults=FaultPlan.chaos(rate, failover_delay=5.0))
+    cdsf = paper_cdsf(replications=REPLICATIONS, seed=SEED, sim=sim)
+    return run_scenario(Scenario.ROBUST_IM_ROBUST_RAS, cdsf, paper_cases())
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run(0.0)
+
+
+def test_bench_rho_under_fault_rates(benchmark, emit, baseline):
+    results = benchmark.pedantic(
+        lambda: {rate: _run(rate) for rate in RATES if rate > 0.0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            "0 (baseline)",
+            100.0 * baseline.robustness.rho1,
+            baseline.robustness.rho2,
+            0.0,
+            0.0,
+        )
+    ]
+    for rate in sorted(results):
+        impact = FaultImpact(
+            baseline=baseline.robustness, faulty=results[rate].robustness
+        )
+        rows.append(
+            (
+                f"{rate:g}",
+                100.0 * impact.faulty.rho1,
+                impact.faulty.rho2,
+                impact.rho1_drop,
+                impact.rho2_drop,
+            )
+        )
+    emit(
+        "faults_rho",
+        "Robustness (rho1, rho2) vs chaos fault rate (scenario 4)",
+        ["fault rate (/s)", "rho1 (%)", "rho2 (%)", "rho1 drop (pp)", "rho2 drop (pp)"],
+        rows,
+    )
+    # Fault injection can never *improve* robustness.
+    for _rate, rho1, rho2, drop1, drop2 in rows[1:]:
+        assert rho1 <= 100.0 * baseline.robustness.rho1 + 1e-9
+        assert drop1 >= -1e-9 and drop2 >= -1e-9
+        assert 0.0 <= rho2 <= 100.0
+
+
+def test_bench_zero_rate_plan_is_free(benchmark, emit, baseline):
+    """An all-zero FaultPlan must take the exact baseline code path."""
+    sim = replace(PAPER_SIM_CONFIG, faults=FaultPlan())
+    cdsf = paper_cdsf(replications=REPLICATIONS, seed=SEED, sim=sim)
+    result = benchmark.pedantic(
+        lambda: run_scenario(Scenario.ROBUST_IM_ROBUST_RAS, cdsf, paper_cases()),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "faults_zero_rate",
+        "Zero-rate fault plan vs fault-free baseline (must be identical)",
+        ["variant", "rho1 (%)", "rho2 (%)"],
+        [
+            ("fault-free", 100.0 * baseline.robustness.rho1, baseline.robustness.rho2),
+            ("zero-rate plan", 100.0 * result.robustness.rho1, result.robustness.rho2),
+        ],
+    )
+    assert result.robustness == baseline.robustness

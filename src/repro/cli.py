@@ -80,10 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable repro's stderr logging at the given level",
     )
     parser.add_argument(
-        "--workers", type=int, metavar="N", default=None,
-        help="worker processes for simulation/evaluation fan-out "
-        "(default: $REPRO_WORKERS, else 1 = serial; results are "
-        "identical at any worker count)",
+        "--workers", metavar="N", default=None,
+        help="worker processes for simulation/evaluation fan-out; "
+        "0 or 'auto' = one per CPU core (default: $REPRO_WORKERS, "
+        "else 1 = serial; results are identical at any worker count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -132,6 +132,16 @@ def _sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--statistic", default="mean", choices=["mean", "median", "max", "p90"]
     )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="chaos mode: inject seed-deterministic worker crashes, "
+        "blackouts, and slowdowns into every simulation",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, metavar="RATE", default=1e-4,
+        help="fault intensity (events per simulated time unit per worker) "
+        "for --faults (default: %(default)s)",
+    )
 
 
 def _print(text: str) -> None:
@@ -170,12 +180,25 @@ def _cmd_tables() -> int:
     return 0
 
 
+def _chaos_sim(args):
+    """The paper's simulator config with the chaos-mode fault plan attached."""
+    from dataclasses import replace
+
+    from .faults import FaultPlan
+    from .paper.example import PAPER_SIM_CONFIG
+
+    plan = FaultPlan.chaos(args.fault_rate)
+    return replace(PAPER_SIM_CONFIG, faults=plan)
+
+
 def _figure_kwargs(args) -> dict:
     kwargs = {"statistic": args.statistic}
     if args.replications is not None:
         kwargs["replications"] = args.replications
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.faults:
+        kwargs["sim"] = _chaos_sim(args)
     return kwargs
 
 
@@ -221,6 +244,8 @@ def _cdsf_kwargs(args) -> dict:
         kwargs["replications"] = args.replications
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.faults:
+        kwargs["sim"] = _chaos_sim(args)
     return kwargs
 
 
@@ -285,6 +310,29 @@ def _cmd_robustness(args, backend: ExecutionBackend) -> int:
         f"{result.robustness.rho2:.2f}%)  |  paper: "
         f"({data.RHO[0]}%, {data.RHO[1]}%)"
     )
+    if args.faults:
+        from .framework import FaultImpact
+
+        baseline_kwargs = _cdsf_kwargs(args)
+        baseline_kwargs.pop("sim")
+        baseline = run_scenario(
+            Scenario.ROBUST_IM_ROBUST_RAS,
+            paper_cdsf(**baseline_kwargs),
+            paper_cases(),
+            backend=backend,
+        )
+        impact = FaultImpact(
+            baseline=baseline.robustness, faulty=result.robustness
+        )
+        console(
+            f"fault-free baseline (rho1, rho2) = "
+            f"({100 * impact.baseline.rho1:.2f}%, {impact.baseline.rho2:.2f}%)"
+        )
+        console(
+            f"chaos impact: rho1 drop {100 * impact.rho1_drop:.2f} pp, "
+            f"rho2 drop {impact.rho2_drop:.2f} pp "
+            f"(fault rate {args.fault_rate:g})"
+        )
     return 0
 
 

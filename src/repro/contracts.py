@@ -50,6 +50,7 @@ __all__ = [
     "check_event_monotone",
     "check_span_monotone",
     "check_allocation_feasible",
+    "check_iteration_conservation",
 ]
 
 #: Environment variable that turns the checks on (``1``/``true``/``on``).
@@ -163,6 +164,28 @@ def check_span_monotone(
             f"child span {name!r} starts at {start} before its parent "
             f"{parent_name!r} started at {parent_start}",
         )
+
+
+def check_iteration_conservation(
+    executed: int, expected: int, rescheduled: int
+) -> None:
+    """Conservation contract for a parallel loop that finished.
+
+    Every iteration is executed exactly once — even under fault
+    injection, where ``rescheduled`` iterations were lost to crashes and
+    re-dispatched to surviving workers. A mismatch means the recovery
+    path dropped or duplicated work.
+    """
+    require(
+        executed == expected,
+        f"parallel loop executed {executed} of {expected} iterations "
+        f"({rescheduled} rescheduled after crashes); fault recovery must "
+        "conserve iterations",
+    )
+    require(
+        rescheduled >= 0,
+        f"negative rescheduled-iteration count {rescheduled}",
+    )
 
 
 def check_allocation_feasible(

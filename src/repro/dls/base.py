@@ -85,6 +85,7 @@ class SchedulingSession(ABC):
             raise SchedulingError("duplicate worker ids")
         self._scheduled = 0
         self._chunk_log: list[tuple[int, int]] = []  # (worker_id, size)
+        self._retired: set[int] = set()
 
     # ------------------------------------------------------------------ intro
 
@@ -128,6 +129,47 @@ class SchedulingSession(ABC):
         if obs_enabled():
             observe_value("dls.chunk_size", float(size))
         return size
+
+    def requeue(self, size: int) -> None:
+        """Return ``size`` handed-out iterations to the undispatched pool.
+
+        Fault-recovery hook: when a worker crashes mid-chunk, the
+        simulator re-queues the lost iterations so a later
+        :meth:`next_chunk` offers them to a surviving worker. Only
+        affects the dispatch accounting — measurements already recorded
+        for *completed* chunks are kept (the lost chunk never reported
+        any). Techniques re-derive their chunk rule from ``remaining``
+        on the next request, so no per-technique support is needed.
+        """
+        if size < 1:
+            raise SchedulingError(f"requeue size must be >= 1, got {size}")
+        if size > self._scheduled:
+            raise SchedulingError(
+                f"cannot requeue {size} iterations; only {self._scheduled} "
+                "were ever handed out"
+            )
+        self._remaining += size
+        self._scheduled -= size
+        if obs_enabled():
+            observe_value("dls.requeued", float(size))
+
+    @property
+    def retired(self) -> frozenset[int]:
+        """Workers marked permanently gone by :meth:`retire`."""
+        return frozenset(self._retired)
+
+    def retire(self, worker_id: int) -> None:
+        """Mark a worker as permanently gone (fault-recovery hook).
+
+        Called by the simulator when a worker crashes. Most techniques
+        derive every chunk from ``remaining``, so survivors naturally
+        absorb the dead worker's share; techniques that *reserve*
+        iterations per worker (STATIC) additionally release the
+        reservation by overriding this and consulting :attr:`retired`.
+        """
+        if worker_id not in self._workers:
+            raise SchedulingError(f"unknown worker id {worker_id}")
+        self._retired.add(worker_id)
 
     @abstractmethod
     def _compute_chunk(self, worker_id: int) -> int:

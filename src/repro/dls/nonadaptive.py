@@ -56,7 +56,10 @@ class _StaticSession(SchedulingSession):
         if worker_id in self._served:
             return 0  # clamped to 0 by next_chunk only when remaining == 0...
         self._served.add(worker_id)
-        p = self.n_workers
+        # Retired (crashed) workers get no share: the space is split
+        # among the survivors, so their orphaned iterations (clamped to
+        # ``remaining`` by the caller) are absorbed on re-request.
+        p = max(1, self.n_workers - len(self.retired))
         base, extra = divmod(self.n_iterations, p)
         # The k-th distinct requester (0-based) gets base+1 while k < extra.
         k = len(self._served) - 1
@@ -68,6 +71,21 @@ class _StaticSession(SchedulingSession):
         if worker_id in self._served:
             return 0
         return super().next_chunk(worker_id)
+
+    def requeue(self, size: int) -> None:  # noqa: D102 - see base
+        super().requeue(size)
+        # Fault recovery: the returned iterations belonged to a crashed
+        # worker, so the one-chunk-per-worker gate must re-open — the
+        # next requester (likely one that already ran its own share)
+        # picks up the orphaned share, clamped to what remains.
+        self._served.clear()
+
+    def retire(self, worker_id: int) -> None:  # noqa: D102 - see base
+        super().retire(worker_id)
+        # A dead worker's reserved share returns to the pool even when
+        # it was never dispatched (idle crash): re-open the gate so a
+        # survivor's next request picks up the leftover iterations.
+        self._served.clear()
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "ObservabilityError",
     "ExecutionError",
+    "FaultError",
 ]
 
 
@@ -54,3 +55,7 @@ class ObservabilityError(ReproError):
 
 class ExecutionError(ReproError):
     """The parallel-execution layer (:mod:`repro.exec`) was misused."""
+
+
+class FaultError(ReproError):
+    """An invalid fault plan or fault event (:mod:`repro.faults`)."""

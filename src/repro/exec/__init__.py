@@ -27,11 +27,13 @@ joined in task order. See ``docs/parallelism.md``.
 
 from .backends import (
     ENV_WORKERS,
+    MAX_POOL_REBUILDS,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     default_workers,
     get_backend,
+    parse_workers,
 )
 from .seeds import SeedTree, derive_seed, encode_component
 from .stage1 import evaluate_allocations
@@ -39,6 +41,7 @@ from .tasks import Assignment, CandidateEvalTask, ReplicateTask, Task
 
 __all__ = [
     "ENV_WORKERS",
+    "MAX_POOL_REBUILDS",
     "Assignment",
     "CandidateEvalTask",
     "ExecutionBackend",
@@ -52,4 +55,5 @@ __all__ = [
     "encode_component",
     "evaluate_allocations",
     "get_backend",
+    "parse_workers",
 ]

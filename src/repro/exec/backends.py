@@ -13,7 +13,8 @@ the work happens:
   active in the parent, each task runs under a worker-local observation
   session whose span records and metrics are merged into the parent
   trace on join, every adopted span tagged with a ``worker`` (pid)
-  attribute.
+  attribute. A broken pool (killed worker) is rebuilt and the
+  unfinished tasks re-submitted — see the class docstring.
 
 :func:`get_backend` resolves the default worker count from the
 ``REPRO_WORKERS`` environment variable (CLI flag ``--workers`` wins), so
@@ -27,9 +28,11 @@ This module is the one place in the library allowed to import
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from .. import obs
@@ -38,33 +41,58 @@ from .tasks import Task
 
 __all__ = [
     "ENV_WORKERS",
+    "MAX_POOL_REBUILDS",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "get_backend",
     "default_workers",
+    "parse_workers",
 ]
 
 #: Environment variable selecting the default worker count.
 ENV_WORKERS = "REPRO_WORKERS"
 
+#: Times a broken process pool is rebuilt before a batch is abandoned.
+MAX_POOL_REBUILDS = 3
+
+#: Base pause before rebuilding a broken pool (doubles per rebuild).
+_REBUILD_BACKOFF = 0.05
+
+
+def parse_workers(raw: str | int, *, source: str = "workers") -> int:
+    """Parse a worker-count spec into a concrete positive count.
+
+    Accepts a positive integer, or ``"auto"`` / ``0`` meaning "one worker
+    per CPU core" (``os.cpu_count()``). ``source`` names the offending
+    setting in error messages.
+    """
+    if isinstance(raw, str) and raw.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        workers = int(raw)
+    except (TypeError, ValueError):
+        raise ExecutionError(
+            f"{source} must be a positive integer, 0, or 'auto', got {raw!r}"
+        ) from None
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ExecutionError(
+            f"{source} must be a positive integer, 0, or 'auto', got {raw!r}"
+        )
+    return workers
+
 
 def default_workers() -> int:
-    """The worker count implied by ``REPRO_WORKERS`` (1 when unset)."""
+    """The worker count implied by ``REPRO_WORKERS`` (1 when unset).
+
+    ``REPRO_WORKERS=auto`` (or ``0``) resolves to ``os.cpu_count()``.
+    """
     raw = os.environ.get(ENV_WORKERS, "").strip()
     if not raw:
         return 1
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise ExecutionError(
-            f"{ENV_WORKERS} must be a positive integer, got {raw!r}"
-        ) from None
-    if workers < 1:
-        raise ExecutionError(
-            f"{ENV_WORKERS} must be a positive integer, got {raw!r}"
-        )
-    return workers
+    return parse_workers(raw, source=ENV_WORKERS)
 
 
 class ExecutionBackend(ABC):
@@ -140,24 +168,37 @@ def _run_observed(task: Task) -> tuple[Any, int, list[dict[str, object]], Any]:
     return result, os.getpid(), session.tracer.records(), session.metrics
 
 
+#: Placeholder for a task slot whose result has not been produced yet.
+_UNFINISHED = object()
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Fan tasks out over a persistent process pool.
 
     The executor is created lazily on first use and reused across
     ``run_tasks`` calls (a study submits one batch per availability
-    case); ``close()`` shuts it down. Results are collected with
-    ``Executor.map``, which preserves task order — combined with
-    per-task seeds this makes pool output bit-for-bit identical to
-    :class:`SerialBackend`.
+    case); ``close()`` shuts it down. Tasks are submitted individually
+    and collected in task order — combined with per-task seeds this
+    makes pool output bit-for-bit identical to :class:`SerialBackend`.
+
+    The pool is resilient to worker death: when the executor breaks
+    (a worker was OOM-killed, segfaulted, or the machine shed the
+    process), the backend rebuilds it after a short backoff and
+    re-submits only the unfinished tasks, up to
+    :data:`MAX_POOL_REBUILDS` times. Tasks are pure functions of their
+    own pre-derived seeds, so re-running one is safe and yields the
+    identical result. A task that *raises* is not retried — the error
+    is deterministic — and surfaces as an :class:`ExecutionError`
+    naming the failing task.
     """
 
     name = "process-pool"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | str | None = None) -> None:
         if workers is None:
             workers = default_workers()
-        if workers < 1:
-            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        else:
+            workers = parse_workers(workers)
         self._workers = workers
         self._executor: ProcessPoolExecutor | None = None
 
@@ -172,22 +213,62 @@ class ProcessPoolBackend(ExecutionBackend):
             )
         return self._executor
 
+    def _discard_executor(self) -> None:
+        """Drop a broken executor so the next use builds a fresh pool."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
     def run_tasks(self, tasks: Sequence[Task]) -> list[Any]:
         tasks = list(tasks)
         if not tasks:
             return []
-        executor = self._ensure_executor()
         session = obs.current()
-        if session is None:
-            return list(executor.map(_run_plain, tasks))
-        results: list[Any] = []
-        for result, worker, records, metrics in executor.map(
-            _run_observed, tasks
-        ):
-            session.tracer.adopt_records(records, attributes={"worker": worker})
-            session.metrics.merge(metrics)
-            obs.incr("exec.tasks")
-            results.append(result)
+        run = _run_plain if session is None else _run_observed
+        results: list[Any] = [_UNFINISHED] * len(tasks)
+        pending = list(range(len(tasks)))
+        rebuilds = 0
+        while pending:
+            executor = self._ensure_executor()
+            futures = {i: executor.submit(run, tasks[i]) for i in pending}
+            unfinished: list[int] = []
+            for i in pending:
+                try:
+                    out = futures[i].result()
+                except BrokenProcessPool:
+                    # The pool died under this task (or while it was
+                    # queued behind the death) — re-submit after rebuild.
+                    unfinished.append(i)
+                    continue
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"task {i + 1}/{len(tasks)} "
+                        f"({type(tasks[i]).__name__}) failed in the "
+                        f"process pool: {exc}"
+                    ) from exc
+                if session is None:
+                    results[i] = out
+                else:
+                    result, worker, records, metrics = out
+                    session.tracer.adopt_records(
+                        records, attributes={"worker": worker}
+                    )
+                    session.metrics.merge(metrics)
+                    obs.incr("exec.tasks")
+                    results[i] = result
+            pending = unfinished
+            if pending:
+                rebuilds += 1
+                if rebuilds > MAX_POOL_REBUILDS:
+                    raise ExecutionError(
+                        f"process pool broke {rebuilds} times; giving up "
+                        f"with {len(pending)} of {len(tasks)} tasks "
+                        "unfinished"
+                    )
+                if session is not None:
+                    obs.incr("exec.retries", float(len(pending)))
+                self._discard_executor()
+                time.sleep(_REBUILD_BACKOFF * (2 ** (rebuilds - 1)))
         return results
 
     def close(self) -> None:
@@ -196,17 +277,18 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor = None
 
 
-def get_backend(workers: int | None = None) -> ExecutionBackend:
+def get_backend(workers: int | str | None = None) -> ExecutionBackend:
     """Resolve a backend from an explicit worker count or the environment.
 
-    ``workers=None`` consults ``REPRO_WORKERS``; a count of 1 (the
+    ``workers=None`` consults ``REPRO_WORKERS``; ``0`` means "all CPU
+    cores" (like ``REPRO_WORKERS=auto``). A resolved count of 1 (the
     default) yields a :class:`SerialBackend`, anything larger a
     :class:`ProcessPoolBackend`.
     """
     if workers is None:
         workers = default_workers()
-    if workers < 1:
-        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    else:
+        workers = parse_workers(workers)
     if workers == 1:
         return SerialBackend()
     return ProcessPoolBackend(workers)

@@ -1,0 +1,37 @@
+"""repro.faults — seed-deterministic fault injection for stage II.
+
+The paper's premise is *uncertain availability*, but availability
+slowdowns alone understate what real heterogeneous pools do: workers
+crash, go dark, and take the coordinator down with them. This package
+models those failure modes as first-class, replayable events:
+
+* :class:`FaultPlan` — the immutable specification (crash / blackout /
+  slowdown rates plus scripted :class:`FaultEvent` occurrences and the
+  master ``failover_delay``); rides inside
+  :class:`~repro.sim.LoopSimConfig`, so every simulation entry point and
+  execution backend sees the same faults;
+* :class:`FaultInjector` — one realized draw, derived from the
+  ``("faults", kind, worker)`` seed-tree paths of the run's simulation
+  seed: bit-for-bit reproducible, independent of the worker RNG streams,
+  identical on serial and pooled backends.
+
+The stage-II loop simulator consumes the injector: a crashed worker's
+in-flight chunk is re-queued through
+:meth:`~repro.dls.SchedulingSession.requeue` and re-dispatched to the
+survivors, a crashed master triggers failover, and iteration
+conservation (``executed == n_parallel``) is contract-checked after
+recovery. See ``docs/faults.md`` for the fault model and the chaos-mode
+CLI (``repro robustness --faults``).
+"""
+
+from .injector import FaultInjector, apply_degradations, degraded_boundaries
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "apply_degradations",
+    "degraded_boundaries",
+]

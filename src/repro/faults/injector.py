@@ -1,0 +1,242 @@
+"""Fault realization: one deterministic draw of a :class:`FaultPlan`.
+
+A :class:`FaultInjector` holds the concrete fault occurrences of one
+simulated run. Stochastic events are drawn from the seed-tree paths
+``("faults", kind, worker)`` beneath the run's simulation seed:
+
+* the draw is bit-for-bit reproducible for a fixed seed on any backend;
+* it never touches the worker availability/iteration streams (those come
+  from :func:`repro.rng.spawn_rngs`), so enabling a zero-rate plan — or
+  adding faults to worker 3 — cannot perturb what worker 5 computes;
+* degradation timelines are materialized lazily (arrival processes are
+  unbounded), merged in time order with any scripted events.
+
+The injector answers two questions the loop simulator asks:
+
+* :meth:`crash_time` — when (if ever) does this worker die?
+* :meth:`degradations_until` — every blackout/slowdown for this worker
+  up to a wall-clock horizon, sorted by time.
+
+:func:`apply_degradations` is the pure timeline transform that stretches
+a chunk's per-iteration finish times by the events overlapping its
+compute window; :func:`degraded_boundaries` iterates it to a fixpoint
+(a pause can push the finish time into the window of a later event).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..errors import FaultError
+from ..exec.seeds import SeedTree
+from .plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "FaultInjector",
+    "apply_degradations",
+    "degraded_boundaries",
+]
+
+
+def _arrivals(
+    tree: SeedTree, kind: str, worker: int, rate: float
+) -> Iterator[float]:
+    """Poisson arrival times for one (kind, worker) stream."""
+    if rate <= 0:
+        return
+    rng = tree.child(kind, worker).rng()
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        yield t
+
+
+def _degradation_stream(
+    tree: SeedTree, plan: FaultPlan, kind: str, worker: int
+) -> Iterator[FaultEvent]:
+    """Drawn blackout/slowdown events for one worker, in time order."""
+    if kind == "blackout":
+        rate, mean = plan.blackout_rate, plan.blackout_duration
+    else:
+        rate, mean = plan.slowdown_rate, plan.slowdown_duration
+    if rate <= 0:
+        return
+    duration_rng = tree.child(kind, "duration", worker).rng()
+    for t in _arrivals(tree, kind, worker, rate):
+        # Durations are exponential with the configured mean, floored
+        # away from zero so every drawn event is a valid FaultEvent.
+        duration = max(float(duration_rng.exponential(mean)), 1e-9)
+        if kind == "blackout":
+            yield FaultEvent(time=t, worker=worker, kind="blackout", duration=duration)
+        else:
+            yield FaultEvent(
+                time=t,
+                worker=worker,
+                kind="slowdown",
+                duration=duration,
+                factor=plan.slowdown_factor,
+            )
+
+
+class FaultInjector:
+    """The realized faults of one run (see module docstring)."""
+
+    def __init__(
+        self, plan: FaultPlan, *, seed: int | None, n_workers: int
+    ) -> None:
+        if n_workers < 1:
+            raise FaultError(f"need >= 1 worker, got {n_workers}")
+        for event in plan.events:
+            if event.worker >= n_workers:
+                raise FaultError(
+                    f"scripted event targets worker {event.worker}, but the "
+                    f"group has only {n_workers} workers"
+                )
+        self._plan = plan
+        self._n = n_workers
+        tree = SeedTree(seed).child("faults")
+        self._crash_times = [
+            self._first_crash(tree, plan, w) for w in range(n_workers)
+        ]
+        scripted = [
+            sorted(
+                e for e in plan.events if e.worker == w and e.kind != "crash"
+            )
+            for w in range(n_workers)
+        ]
+        self._iters: list[Iterator[FaultEvent]] = [
+            heapq.merge(
+                iter(scripted[w]),
+                _degradation_stream(tree, plan, "blackout", w),
+                _degradation_stream(tree, plan, "slowdown", w),
+            )
+            for w in range(n_workers)
+        ]
+        self._materialized: list[list[FaultEvent]] = [[] for _ in range(n_workers)]
+        self._lookahead: list[FaultEvent | None] = [
+            next(self._iters[w], None) for w in range(n_workers)
+        ]
+
+    @staticmethod
+    def _first_crash(
+        tree: SeedTree, plan: FaultPlan, worker: int
+    ) -> float | None:
+        """Earliest crash of ``worker``: scripted vs drawn, whichever first."""
+        times = [
+            e.time
+            for e in plan.events
+            if e.worker == worker and e.kind == "crash"
+        ]
+        if plan.crash_rate > 0:
+            rng = tree.child("crash", worker).rng()
+            times.append(float(rng.exponential(1.0 / plan.crash_rate)))
+        return min(times) if times else None
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def n_workers(self) -> int:
+        return self._n
+
+    @property
+    def failover_delay(self) -> float:
+        return self._plan.failover_delay
+
+    def crash_time(self, worker: int) -> float | None:
+        """Wall-clock time at which ``worker`` dies, or None (immortal)."""
+        self._check_worker(worker)
+        return self._crash_times[worker]
+
+    def degradations_until(self, worker: int, t: float) -> list[FaultEvent]:
+        """All blackout/slowdown events of ``worker`` with ``time <= t``.
+
+        Returns the (growing) materialized prefix, sorted by time; the
+        caller must treat it as read-only.
+        """
+        self._check_worker(worker)
+        buffer = self._materialized[worker]
+        while (
+            self._lookahead[worker] is not None
+            and self._lookahead[worker].time <= t  # type: ignore[union-attr]
+        ):
+            buffer.append(self._lookahead[worker])  # type: ignore[arg-type]
+            self._lookahead[worker] = next(self._iters[worker], None)
+        return buffer
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self._n:
+            raise FaultError(
+                f"worker {worker} out of range for {self._n}-worker group"
+            )
+
+
+def apply_degradations(
+    start: float,
+    boundaries: np.ndarray,
+    events: list[FaultEvent],
+) -> tuple[np.ndarray, int]:
+    """Stretch per-iteration finish times by degradation events.
+
+    ``boundaries`` are the chunk's cumulative iteration finish times
+    (ascending, last entry = chunk finish); ``events`` the executing
+    worker's blackouts/slowdowns sorted by time. Semantics:
+
+    * a **blackout** inserts a pause of its duration at its start time
+      (discounting any part already served before the compute window);
+    * a **slowdown** adds ``(factor - 1) x overlap`` where ``overlap``
+      is the intersection of its window with the compute window.
+
+    Each event shifts every boundary strictly after its (clipped) start;
+    later events are compared against the already-shifted timeline, so a
+    pause can push iterations into a later event's window. Returns the
+    adjusted boundaries and the number of events that had any effect.
+    """
+    adjusted = np.asarray(boundaries, dtype=np.float64).copy()
+    applied = 0
+    for event in events:
+        finish = float(adjusted[-1])
+        if event.time >= finish or event.end <= start:
+            continue
+        at = max(event.time, start)
+        if event.kind == "blackout":
+            # The full pause is served even when it outlasts the chunk;
+            # only the part already spent before `start` is discounted.
+            extra = event.end - at if event.time < start else event.duration
+        else:
+            # Overlap is measured against the pre-stretch timeline: the
+            # deterministic first-order model of "this window runs
+            # `factor` times slower".
+            extra = (min(event.end, finish) - at) * (event.factor - 1.0)
+        if extra <= 0:
+            continue
+        adjusted[adjusted > at] += extra
+        applied += 1
+    return adjusted, applied
+
+
+def degraded_boundaries(
+    injector: FaultInjector,
+    worker: int,
+    start: float,
+    boundaries: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Apply all of ``worker``'s degradations to a chunk's timeline.
+
+    Iterates :func:`apply_degradations` to a fixpoint: every pause
+    extends the finish time, which can expose later events; each pass
+    re-applies the full (larger) event list to the *original* boundaries
+    so no event is ever double-counted.
+    """
+    events = injector.degradations_until(worker, float(boundaries[-1]))
+    known = len(events)
+    while True:
+        adjusted, applied = apply_degradations(start, boundaries, events)
+        events = injector.degradations_until(worker, float(adjusted[-1]))
+        if len(events) == known:
+            return adjusted, applied
+        known = len(events)

@@ -4,6 +4,7 @@ from .robustness import (
     availability_decrease,
     stage_ii_robustness,
     SystemRobustness,
+    FaultImpact,
 )
 from .study import StudyConfig, StudyResult, DLSStudy
 from .cdsf import CDSF, CDSFResult
@@ -35,6 +36,7 @@ __all__ = [
     "availability_decrease",
     "stage_ii_robustness",
     "SystemRobustness",
+    "FaultImpact",
     "StudyConfig",
     "StudyResult",
     "DLSStudy",

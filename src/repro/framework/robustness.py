@@ -23,6 +23,7 @@ __all__ = [
     "availability_decrease",
     "stage_ii_robustness",
     "SystemRobustness",
+    "FaultImpact",
 ]
 
 
@@ -82,3 +83,28 @@ class SystemRobustness:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SystemRobustness(rho1={self.rho1:.4f}, rho2={self.rho2:.2f}%)"
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Robustness under injected faults vs the fault-free baseline.
+
+    Pairs the ``(rho_1, rho_2)`` tuples of two otherwise-identical runs —
+    one with a :class:`~repro.faults.FaultPlan` attached to the simulator
+    configuration, one without — to quantify how much of the framework's
+    robustness survives worker crashes, blackouts, and slowdowns
+    (chaos mode, CLI ``robustness --faults``).
+    """
+
+    baseline: SystemRobustness
+    faulty: SystemRobustness
+
+    @property
+    def rho1_drop(self) -> float:
+        """Loss of deadline probability (positive = faults hurt)."""
+        return self.baseline.rho1 - self.faulty.rho1
+
+    @property
+    def rho2_drop(self) -> float:
+        """Loss of tolerated availability decrease, in percentage points."""
+        return self.baseline.rho2 - self.faulty.rho2

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..exec import ExecutionBackend
 from ..framework import CDSFResult, Scenario, run_scenario
+from ..sim import LoopSimConfig
 from . import data
 from .example import paper_cases, paper_cdsf
 
@@ -71,11 +72,15 @@ def figure_series(
     replications: int | None = None,
     statistic: str = "mean",
     seed: int | None = None,
+    sim: LoopSimConfig | None = None,
     backend: ExecutionBackend | None = None,
 ) -> FigureSeries:
     """Regenerate one figure's data series by simulation.
 
-    ``figure`` is one of ``fig3`` ... ``fig6``.
+    ``figure`` is one of ``fig3`` ... ``fig6``. ``sim`` overrides the
+    paper's simulator configuration — e.g. to attach a
+    :class:`~repro.faults.FaultPlan` and regenerate a figure under
+    injected failures.
     """
     try:
         scenario = FIGURE_SCENARIOS[figure]
@@ -88,6 +93,8 @@ def figure_series(
         kwargs["replications"] = replications
     if seed is not None:
         kwargs["seed"] = seed
+    if sim is not None:
+        kwargs["sim"] = sim
     cdsf = paper_cdsf(**kwargs)
     cases = paper_cases()
     result = run_scenario(scenario, cdsf, cases, backend=backend)

@@ -5,6 +5,7 @@ from .engine import Simulator
 from .worker import SimWorker, ChunkExecution
 from .results import (
     ChunkRecord,
+    MasterFailover,
     AppRunResult,
     BatchRunResult,
     ReplicatedAppStats,
@@ -12,6 +13,8 @@ from .results import (
 )
 from .loopsim import (
     LoopSimConfig,
+    ParallelLoopResult,
+    run_parallel_loop,
     simulate_application,
     replicate_application,
     replication_seeds,
@@ -34,11 +37,14 @@ __all__ = [
     "SimWorker",
     "ChunkExecution",
     "ChunkRecord",
+    "MasterFailover",
     "AppRunResult",
     "BatchRunResult",
     "ReplicatedAppStats",
     "ReplicatedBatchStats",
     "LoopSimConfig",
+    "ParallelLoopResult",
+    "run_parallel_loop",
     "simulate_application",
     "replicate_application",
     "replication_seeds",

@@ -15,16 +15,18 @@ full availability slows down if availability drops mid-chunk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..apps import Application
-from ..dls import DLSTechnique, WorkerState
+from ..contracts import check_iteration_conservation, contracts_enabled
+from ..dls import DLSTechnique, SchedulingSession, WorkerState
 from ..errors import SimulationError
 from ..exec.backends import ExecutionBackend, SerialBackend
 from ..exec.seeds import SeedTree
 from ..exec.tasks import ReplicateTask
+from ..faults import FaultInjector, FaultPlan, degraded_boundaries
 from ..obs import incr, obs_enabled, observe_value, span
 from ..rng import spawn_rngs
 from ..system import (
@@ -33,11 +35,13 @@ from ..system import (
     ResampledAvailability,
 )
 from .events import EventQueue
-from .results import AppRunResult, ChunkRecord, ReplicatedAppStats
+from .results import AppRunResult, ChunkRecord, MasterFailover, ReplicatedAppStats
 from .worker import SimWorker
 
 __all__ = [
     "LoopSimConfig",
+    "ParallelLoopResult",
+    "run_parallel_loop",
     "simulate_application",
     "replicate_application",
     "replication_seeds",
@@ -64,12 +68,19 @@ class LoopSimConfig:
     iterations: ``"first"`` uses processor 0 (an arbitrary coordinator);
     ``"best-available"`` models a resource manager that designates the
     currently least-loaded processor as coordinator.
+
+    ``faults`` attaches a :class:`~repro.faults.FaultPlan`: crash /
+    blackout / slowdown events drawn deterministically from the run's
+    seed. A zero-rate plan (``FaultPlan()``, the inert default) takes
+    the exact no-faults code path, so results are bit-for-bit identical
+    to ``faults=None``.
     """
 
     overhead: float = DEFAULT_OVERHEAD
     availability_interval: float = DEFAULT_AVAIL_INTERVAL
     include_serial: bool = True
     master_policy: str = "first"
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.overhead < 0:
@@ -119,20 +130,72 @@ def _build_workers(
     ]
 
 
+@dataclass(frozen=True)
+class ParallelLoopResult:
+    """Outcome of one parallel-loop phase (:func:`run_parallel_loop`).
+
+    The fault fields are all zero/empty when no injector is active, so
+    fault-free callers can ignore them.
+    """
+
+    chunks: list[ChunkRecord]
+    finish_times: dict[int, float]
+    executed: int
+    crashed: tuple[int, ...] = ()
+    rescheduled: int = 0
+    degradations: int = 0
+    failovers: tuple[MasterFailover, ...] = ()
+    master_id: int | None = None
+
+
+@dataclass
+class _InFlight:
+    """One dispatched chunk awaiting its completion (or crash) event."""
+
+    size: int
+    wall_times: np.ndarray
+    chunk_time: float
+    finish: float
+    record: ChunkRecord
+    lost: bool = field(default=False)
+
+
+def _pick_master(
+    candidates: list[SimWorker], policy: str, at: float
+) -> SimWorker:
+    """The coordinator among ``candidates`` per the master policy."""
+    if policy == "best-available":
+        return max(candidates, key=lambda w: w.availability.level_at(at))
+    return min(candidates, key=lambda w: w.worker_id)
+
+
 def run_parallel_loop(
     workers: list[SimWorker],
-    session,
+    session: SchedulingSession,
     par_model,
     start_time: float,
     config: LoopSimConfig,
-) -> tuple[list[ChunkRecord], dict[int, float], int]:
+    *,
+    injector: FaultInjector | None = None,
+    master_id: int | None = None,
+) -> ParallelLoopResult:
     """Drive one scheduling session to completion on the given workers.
 
-    Returns ``(chunk records, per-worker finish times, iterations
-    executed)``. Measurements become visible to the scheduling session only
-    when a chunk *finishes* (the worker's next request) — recording at
-    dispatch time would leak future knowledge into other workers' chunk
-    decisions.
+    Measurements become visible to the scheduling session only when a
+    chunk *finishes* (the worker's next request) — recording at dispatch
+    time would leak future knowledge into other workers' chunk decisions.
+
+    With a fault ``injector``, the loop additionally models worker
+    failure: a crashed worker's in-flight chunk is re-queued through
+    :meth:`~repro.dls.SchedulingSession.requeue` and re-dispatched to the
+    survivors (idle workers are parked, not released, so late re-queued
+    work always finds a taker); blackouts and slowdowns stretch chunk
+    timelines; a crashed master triggers failover per
+    ``config.master_policy``, charging the plan's ``failover_delay``
+    before the lost work is re-offered. The group's last surviving
+    worker never crashes — a run always completes — and iteration
+    conservation (``executed == n_parallel``) is contract-checked by the
+    caller after recovery.
     """
     queue = EventQueue()
     for w in workers:
@@ -141,41 +204,152 @@ def run_parallel_loop(
     chunks: list[ChunkRecord] = []
     finish_times: dict[int, float] = {w.worker_id: start_time for w in workers}
     executed = 0
-    pending: dict[int, tuple[int, np.ndarray, float]] = {}
+    pending: dict[int, _InFlight] = {}
+    # Fault bookkeeping (all inert when injector is None).
+    parked: dict[int, float] = {}  # idle workers that may yet see re-queued work
+    dead: set[int] = set()
+    immortal: set[int] = set()  # designated survivors: crash suppressed
+    crashed: list[int] = []
+    failovers: list[MasterFailover] = []
+    rescheduled = 0
+    degradations = 0
 
+    def _others_alive(wid: int) -> bool:
+        return any(
+            w.worker_id != wid and w.worker_id not in dead for w in workers
+        )
+
+    def _handle_crash(wid: int, now: float, lost_size: int) -> None:
+        """Retire a worker; fail the master over and wake parked workers."""
+        nonlocal master_id, rescheduled
+        dead.add(wid)
+        crashed.append(wid)
+        wake = now
+        if lost_size > 0:
+            session.requeue(lost_size)
+            rescheduled += lost_size
+        session.retire(wid)
+        if wid == master_id and injector is not None:
+            alive = [w for w in workers if w.worker_id not in dead]
+            new_master = _pick_master(alive, config.master_policy, now)
+            failovers.append(
+                MasterFailover(
+                    time=now, old_master=wid, new_master=new_master.worker_id
+                )
+            )
+            master_id = new_master.worker_id
+            wake = now + injector.failover_delay
+        if session.remaining > 0:
+            # Orphaned iterations need takers — both a lost in-flight
+            # chunk just re-queued and a reservation the retirement
+            # released: wake every parked worker.
+            for pid, parked_at in parked.items():
+                queue.push(max(parked_at, wake), by_id[pid])
+            parked.clear()
+
+    by_id = {w.worker_id: w for w in workers}
     while queue:
         event = queue.pop()
         worker: SimWorker = event.payload
         now = event.time
-        if worker.worker_id in pending:
-            size_done, wall_times, chunk_time = pending.pop(worker.worker_id)
+        wid = worker.worker_id
+        if wid in dead:  # pragma: no cover - defensive; no events outlive death
+            continue
+        inflight = pending.pop(wid, None)
+        crash_at = (
+            injector.crash_time(wid)
+            if injector is not None and wid not in immortal
+            else None
+        )
+        if inflight is not None and inflight.lost:
+            # This event *is* the worker's crash, mid-chunk.
+            if not _others_alive(wid):
+                # Last worker standing: suppress the crash and let the
+                # chunk complete at its true finish time.
+                immortal.add(wid)
+                inflight.lost = False
+                pending[wid] = inflight
+                chunks.append(inflight.record)
+                executed += inflight.size
+                finish_times[wid] = inflight.finish
+                queue.push(inflight.finish, worker)
+                continue
+            _handle_crash(wid, now, inflight.size)
+            continue
+        if inflight is not None:
             session.record(
-                worker.worker_id, size_done, wall_times, chunk_time=chunk_time
+                wid, inflight.size, inflight.wall_times,
+                chunk_time=inflight.chunk_time,
             )
-        size = session.next_chunk(worker.worker_id)
+        if crash_at is not None and crash_at <= now:
+            # Crash between assignments (idle, parked, or exactly at a
+            # chunk boundary): nothing in flight is lost.
+            if _others_alive(wid):
+                _handle_crash(wid, now, 0)
+                continue
+            immortal.add(wid)
+        size = session.next_chunk(wid)
         if size == 0:
-            finish_times.setdefault(worker.worker_id, now)
+            # Every worker id was pre-seeded into `finish_times` at
+            # `start_time`, so a worker that never receives a chunk
+            # deliberately reports the loop start as its finish (it was
+            # never busy) — no update is needed here. Under fault
+            # injection the worker is parked instead of released: a
+            # later crash may re-queue iterations it must pick up.
+            if injector is not None:
+                parked[wid] = now
             continue
         start = now + config.overhead
         execution = worker.execute_chunk(start, size, par_model)
-        pending[worker.worker_id] = (
-            size,
-            execution.iteration_wall_times,
-            execution.finish_time - now,
-        )
-        chunks.append(
-            ChunkRecord(
-                worker_id=worker.worker_id,
-                size=size,
-                request_time=now,
-                start_time=start,
-                finish_time=execution.finish_time,
+        finish = execution.finish_time
+        wall_times = execution.iteration_wall_times
+        if injector is not None:
+            boundaries = start + np.cumsum(wall_times)
+            adjusted, applied = degraded_boundaries(
+                injector, wid, start, boundaries
             )
+            if applied:
+                degradations += applied
+                finish = float(adjusted[-1])
+                wall_times = np.diff(np.concatenate(([start], adjusted)))
+        record = ChunkRecord(
+            worker_id=wid,
+            size=size,
+            request_time=now,
+            start_time=start,
+            finish_time=finish,
         )
+        inflight = _InFlight(
+            size=size,
+            wall_times=wall_times,
+            chunk_time=finish - now,
+            finish=finish,
+            record=record,
+        )
+        if crash_at is not None and now <= crash_at < finish:
+            # The worker dies while this chunk is in flight: surface the
+            # crash at its own time so re-dispatch starts immediately,
+            # and defer the completion accounting (it may be suppressed
+            # if every other worker dies first).
+            inflight.lost = True
+            pending[wid] = inflight
+            queue.push(crash_at, worker)
+            continue
+        pending[wid] = inflight
+        chunks.append(record)
         executed += size
-        finish_times[worker.worker_id] = execution.finish_time
-        queue.push(execution.finish_time, worker)
-    return chunks, finish_times, executed
+        finish_times[wid] = finish
+        queue.push(finish, worker)
+    return ParallelLoopResult(
+        chunks=chunks,
+        finish_times=finish_times,
+        executed=executed,
+        crashed=tuple(crashed),
+        rescheduled=rescheduled,
+        degradations=degradations,
+        failovers=tuple(failovers),
+        master_id=master_id,
+    )
 
 
 def simulate_application(
@@ -198,12 +372,14 @@ def simulate_application(
     includes the serial phase (if enabled) and the full parallel loop.
     """
     config = config or LoopSimConfig()
+    faulty = config.faults is not None and not config.faults.is_zero
     with span(
         "sim.app",
         app=app.name,
         technique=technique.name,
         group_type=group.ptype.name,
         group_size=group.size,
+        faults=faulty,
     ):
         result = _simulate_application(
             app, group, technique, seed=seed, config=config,
@@ -228,6 +404,11 @@ def _simulate_application(
 ) -> AppRunResult:
     workers = _build_workers(group, availability, config, seed)
     type_name = group.ptype.name
+    # A zero-rate plan realizes no injector at all, so it takes exactly
+    # the fault-free code path (bit-for-bit identical results).
+    injector: FaultInjector | None = None
+    if config.faults is not None and not config.faults.is_zero:
+        injector = config.faults.realize(seed, group.size)
 
     # ----------------------------------------------------------- serial phase
     serial_end = 0.0
@@ -235,10 +416,7 @@ def _simulate_application(
     if config.include_serial and app.n_serial > 0:
         serial_model = app.serial_iteration_model(type_name)
         if serial_model is not None:
-            if config.master_policy == "best-available":
-                master = max(workers, key=lambda w: w.availability.level_at(0.0))
-            else:
-                master = workers[0]
+            master = _pick_master(workers, config.master_policy, 0.0)
             master_id = master.worker_id
             execution = master.execute_chunk(0.0, app.n_serial, serial_model)
             serial_end = execution.finish_time
@@ -254,15 +432,24 @@ def _simulate_application(
         for w in workers
     ]
     session = technique.session(app.n_parallel, states)
-    chunks, finish_times, executed = run_parallel_loop(
-        workers, session, par_model, serial_end, config
+    loop = run_parallel_loop(
+        workers, session, par_model, serial_end, config,
+        injector=injector, master_id=master_id,
     )
 
-    if executed != app.n_parallel:
+    if loop.executed != app.n_parallel:
         raise SimulationError(
-            f"simulated {executed} parallel iterations, expected {app.n_parallel}"
+            f"simulated {loop.executed} parallel iterations, "
+            f"expected {app.n_parallel}"
         )
-    makespan = max([serial_end, *(c.finish_time for c in chunks)])
+    if contracts_enabled():
+        check_iteration_conservation(
+            loop.executed, app.n_parallel, loop.rescheduled
+        )
+    if injector is not None and obs_enabled():
+        incr("faults.injected", float(len(loop.crashed) + loop.degradations))
+        incr("faults.rescheduled", float(loop.rescheduled))
+    makespan = max([serial_end, *(c.finish_time for c in loop.chunks)])
     return AppRunResult(
         app_name=app.name,
         technique=technique.name,
@@ -270,10 +457,14 @@ def _simulate_application(
         group_size=group.size,
         serial_time=serial_end,
         makespan=makespan,
-        chunks=tuple(chunks),
-        worker_finish_times=finish_times,
-        iterations_executed=executed,
-        master_id=master_id,
+        chunks=tuple(loop.chunks),
+        worker_finish_times=loop.finish_times,
+        iterations_executed=loop.executed,
+        master_id=loop.master_id if injector is not None else master_id,
+        crashed_workers=loop.crashed,
+        rescheduled_iterations=loop.rescheduled,
+        degradations_applied=loop.degradations,
+        master_failovers=loop.failovers,
     )
 
 

@@ -8,6 +8,7 @@ import numpy as np
 
 __all__ = [
     "ChunkRecord",
+    "MasterFailover",
     "AppRunResult",
     "BatchRunResult",
     "ReplicatedAppStats",
@@ -32,8 +33,21 @@ class ChunkRecord:
 
 
 @dataclass(frozen=True)
+class MasterFailover:
+    """One coordinator hand-off after the master processor crashed."""
+
+    time: float
+    old_master: int
+    new_master: int
+
+
+@dataclass(frozen=True)
 class AppRunResult:
-    """Outcome of simulating one application on its processor group."""
+    """Outcome of simulating one application on its processor group.
+
+    The fault fields record what :mod:`repro.faults` injected during the
+    run; they stay zero/empty for fault-free simulations.
+    """
 
     app_name: str
     technique: str
@@ -45,6 +59,10 @@ class AppRunResult:
     worker_finish_times: dict[int, float]
     iterations_executed: int
     master_id: int | None = None  # worker that ran the serial phase
+    crashed_workers: tuple[int, ...] = ()
+    rescheduled_iterations: int = 0
+    degradations_applied: int = 0
+    master_failovers: tuple[MasterFailover, ...] = ()
 
     @property
     def parallel_time(self) -> float:

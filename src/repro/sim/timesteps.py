@@ -20,10 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..apps import Application
+from ..contracts import check_iteration_conservation, contracts_enabled
 from ..dls import DLSTechnique, WorkerState
 from ..errors import SimulationError
+from ..faults import FaultInjector
 from ..system import AvailabilityModel, ProcessorGroup
-from .loopsim import LoopSimConfig, _build_workers, run_parallel_loop
+from .loopsim import LoopSimConfig, _build_workers, _pick_master, run_parallel_loop
 from .results import ChunkRecord
 
 __all__ = ["TimestepResult", "TimesteppedRunResult", "simulate_timestepped"]
@@ -37,6 +39,7 @@ class TimestepResult:
     start_time: float
     finish_time: float
     chunks: tuple[ChunkRecord, ...]
+    rescheduled: int = 0  # iterations re-dispatched after crashes this step
 
     @property
     def duration(self) -> float:
@@ -50,6 +53,7 @@ class TimesteppedRunResult:
     app_name: str
     technique: str
     steps: tuple[TimestepResult, ...]
+    crashed_workers: tuple[int, ...] = ()  # unique, in first-crash order
 
     @property
     def makespan(self) -> float:
@@ -106,36 +110,48 @@ def simulate_timestepped(
         for w in workers
     ]
 
+    # One injector spans the whole run: crash times are absolute wall
+    # clock, so a worker that died in step 3 is still dead in step 4
+    # (its crash time precedes every later step's events).
+    injector: FaultInjector | None = None
+    if config.faults is not None and not config.faults.is_zero:
+        injector = config.faults.realize(seed, group.size)
+
     steps: list[TimestepResult] = []
+    crashed: list[int] = []
+    master_id: int | None = None
     clock = 0.0
     for step in range(n_timesteps):
         start = clock
         if serial_model is not None and app.n_serial > 0:
-            if config.master_policy == "best-available":
-                master = max(
-                    workers, key=lambda w: w.availability.level_at(start)
-                )
-            else:
-                master = workers[0]
+            master = _pick_master(workers, config.master_policy, start)
+            master_id = master.worker_id
             execution = master.execute_chunk(start, app.n_serial, serial_model)
             loop_start = execution.finish_time
         else:
             loop_start = start
         session = technique.session(app.n_parallel, states)
-        chunks, _finish_times, executed = run_parallel_loop(
-            workers, session, par_model, loop_start, config
+        loop = run_parallel_loop(
+            workers, session, par_model, loop_start, config,
+            injector=injector, master_id=master_id,
         )
-        if executed != app.n_parallel:
+        if loop.executed != app.n_parallel:
             raise SimulationError(
-                f"timestep {step}: executed {executed} of {app.n_parallel}"
+                f"timestep {step}: executed {loop.executed} of {app.n_parallel}"
             )
-        finish = max([loop_start, *(c.finish_time for c in chunks)])
+        if contracts_enabled():
+            check_iteration_conservation(
+                loop.executed, app.n_parallel, loop.rescheduled
+            )
+        crashed.extend(w for w in loop.crashed if w not in crashed)
+        finish = max([loop_start, *(c.finish_time for c in loop.chunks)])
         steps.append(
             TimestepResult(
                 index=step,
                 start_time=start,
                 finish_time=finish,
-                chunks=tuple(chunks),
+                chunks=tuple(loop.chunks),
+                rescheduled=loop.rescheduled,
             )
         )
         clock = finish
@@ -143,4 +159,5 @@ def simulate_timestepped(
         app_name=app.name,
         technique=technique.name,
         steps=tuple(steps),
+        crashed_workers=tuple(crashed),
     )

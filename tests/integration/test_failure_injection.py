@@ -140,3 +140,72 @@ class TestEveryTechniqueSurvives:
         assert result.makespan >= result.serial_time
         for c in result.chunks:
             assert c.finish_time >= c.start_time
+
+
+class TestInjectedFaults:
+    """Crash/blackout/slowdown injection on top of availability noise."""
+
+    CHAOS = LoopSimConfig(
+        overhead=1.0,
+        faults=None,  # replaced per test; kept for symmetry with CONFIG
+    )
+
+    @pytest.mark.parametrize("technique", sorted(ALL_TECHNIQUES))
+    def test_conservation_under_injected_chaos(self, app, system, technique):
+        from repro.faults import FaultPlan
+
+        config = LoopSimConfig(
+            overhead=1.0, faults=FaultPlan.chaos(2e-3, failover_delay=5.0)
+        )
+        result = simulate_application(
+            app, system.group("t", 8), make_technique(technique),
+            seed=6, config=config,
+        )
+        assert result.iterations_executed == app.n_parallel
+        assert sum(c.size for c in result.chunks) == app.n_parallel
+        assert np.isfinite(result.makespan)
+
+    def test_faults_compose_with_availability_noise(self, app, system):
+        from repro.faults import FaultPlan
+
+        models = [ConstantAvailability(0.5)] * 8
+        config = LoopSimConfig(overhead=1.0, faults=FaultPlan.chaos(2e-3))
+        result = simulate_application(
+            app, system.group("t", 8), make_technique("FAC"),
+            seed=7, config=config, availability=models,
+        )
+        assert result.iterations_executed == app.n_parallel
+
+    def test_timestepped_run_under_faults(self, app, system):
+        from repro.faults import FaultEvent, FaultPlan
+        from repro.sim import simulate_timestepped
+
+        plan = FaultPlan(events=(FaultEvent(time=150.0, worker=3),))
+        result = simulate_timestepped(
+            app, system.group("t", 8), make_technique("AWF"),
+            n_timesteps=4, seed=8,
+            config=LoopSimConfig(overhead=1.0, faults=plan),
+        )
+        assert len(result.steps) == 4
+        assert result.crashed_workers == (3,)
+        # The dead worker takes no chunks in any step after its crash.
+        for step in result.steps:
+            for chunk in step.chunks:
+                if chunk.worker_id == 3:
+                    assert chunk.request_time < 150.0
+
+    def test_timestepped_zero_rate_identical(self, app, system):
+        from repro.faults import FaultPlan
+        from repro.sim import simulate_timestepped
+
+        base = simulate_timestepped(
+            app, system.group("t", 8), make_technique("AWF"),
+            n_timesteps=3, seed=8, config=LoopSimConfig(overhead=1.0),
+        )
+        zero = simulate_timestepped(
+            app, system.group("t", 8), make_technique("AWF"),
+            n_timesteps=3, seed=8,
+            config=LoopSimConfig(overhead=1.0, faults=FaultPlan()),
+        )
+        assert zero.makespan == base.makespan
+        assert zero.steps == base.steps

@@ -1,0 +1,156 @@
+"""Property-based tests of fault injection (hypothesis).
+
+Three promises must hold for arbitrary plans, techniques, and seeds:
+
+* a zero-rate :class:`FaultPlan` is *inert* — results are bit-for-bit
+  identical to running with no plan at all;
+* with crashes enabled, every lost chunk is re-executed: the loop
+  conserves iterations exactly (``executed == n_parallel``);
+* fault draws are a pure function of the seed, so makespans are
+  deterministic — including across serial and process-pool backends.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Application, normal_exectime_model
+from repro.dls import make_technique
+from repro.exec import ProcessPoolBackend, SerialBackend
+from repro.faults import FaultEvent, FaultPlan
+from repro.sim import LoopSimConfig, replicate_application, simulate_application
+from repro.system import HeterogeneousSystem, ProcessorType
+
+TECHNIQUES = ["STATIC", "SS", "FAC", "WF", "AWF-B", "AF"]
+
+
+def _instance(n_parallel, mean_time, cv):
+    app = Application(
+        "faultprop",
+        16,
+        n_parallel,
+        normal_exectime_model({"t": mean_time}, cv=cv),
+        iteration_cv=cv,
+    )
+    system = HeterogeneousSystem([ProcessorType("t", 8)])
+    return app, system
+
+
+@st.composite
+def fault_scenarios(draw):
+    technique = draw(st.sampled_from(TECHNIQUES))
+    n_parallel = draw(st.integers(32, 600))
+    group_size = draw(st.sampled_from([2, 4, 8]))
+    cv = draw(st.sampled_from([0.0, 0.2]))
+    mean_time = draw(st.floats(200.0, 2000.0))
+    seed = draw(st.integers(0, 2**20))
+    return technique, n_parallel, group_size, cv, mean_time, seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(fault_scenarios())
+def test_zero_rate_plan_is_inert(bundle):
+    technique, n_parallel, group_size, cv, mean_time, seed = bundle
+    app, system = _instance(n_parallel, mean_time, cv)
+    group = system.group("t", group_size)
+    base = simulate_application(
+        app, group, make_technique(technique), seed=seed,
+        config=LoopSimConfig(overhead=1.0),
+    )
+    zero = simulate_application(
+        app, group, make_technique(technique), seed=seed,
+        config=LoopSimConfig(overhead=1.0, faults=FaultPlan()),
+    )
+    assert zero.makespan == base.makespan
+    assert zero.chunks == base.chunks
+    assert zero.worker_finish_times == base.worker_finish_times
+
+
+@settings(max_examples=30, deadline=None)
+@given(fault_scenarios(), st.floats(1e-4, 5e-3))
+def test_crashes_conserve_iterations(bundle, crash_rate):
+    technique, n_parallel, group_size, cv, mean_time, seed = bundle
+    app, system = _instance(n_parallel, mean_time, cv)
+    group = system.group("t", group_size)
+    plan = FaultPlan(crash_rate=crash_rate, failover_delay=5.0)
+    result = simulate_application(
+        app, group, make_technique(technique), seed=seed,
+        config=LoopSimConfig(overhead=1.0, faults=plan),
+    )
+    assert result.iterations_executed == app.n_parallel
+    assert sum(c.size for c in result.chunks) == app.n_parallel
+    # Crashed workers never take work after their crash.
+    for wid in result.crashed_workers:
+        last = max(
+            (c.request_time for c in result.chunks if c.worker_id == wid),
+            default=None,
+        )
+        if last is not None:
+            assert last <= result.makespan
+
+
+@settings(max_examples=20, deadline=None)
+@given(fault_scenarios())
+def test_scripted_and_stochastic_mix_conserves(bundle):
+    technique, n_parallel, group_size, cv, mean_time, seed = bundle
+    app, system = _instance(n_parallel, mean_time, cv)
+    group = system.group("t", group_size)
+    plan = FaultPlan(
+        crash_rate=1e-3,
+        blackout_rate=5e-4,
+        blackout_duration=20.0,
+        slowdown_rate=5e-4,
+        slowdown_factor=3.0,
+        events=(
+            FaultEvent(time=30.0, worker=0),
+            FaultEvent(time=40.0, worker=1, kind="blackout", duration=25.0),
+        ),
+    )
+    result = simulate_application(
+        app, group, make_technique(technique), seed=seed,
+        config=LoopSimConfig(overhead=1.0, faults=plan),
+    )
+    assert result.iterations_executed == app.n_parallel
+
+
+@settings(max_examples=20, deadline=None)
+@given(fault_scenarios())
+def test_fault_draws_deterministic(bundle):
+    technique, n_parallel, group_size, cv, mean_time, seed = bundle
+    app, system = _instance(n_parallel, mean_time, cv)
+    group = system.group("t", group_size)
+    config = LoopSimConfig(overhead=1.0, faults=FaultPlan.chaos(2e-3))
+    a = simulate_application(
+        app, group, make_technique(technique), seed=seed, config=config
+    )
+    b = simulate_application(
+        app, group, make_technique(technique), seed=seed, config=config
+    )
+    assert a.makespan == b.makespan
+    assert a.chunks == b.chunks
+    assert a.crashed_workers == b.crashed_workers
+    assert a.rescheduled_iterations == b.rescheduled_iterations
+
+
+@pytest.fixture(scope="module")
+def pool():
+    backend = ProcessPoolBackend(2)
+    yield backend
+    backend.close()
+
+
+def test_backends_agree_under_faults(pool):
+    """Serial and pooled replication produce identical makespans with
+    faults enabled — the plan rides inside the pickled task config."""
+    app, system = _instance(256, 600.0, 0.2)
+    group = system.group("t", 4)
+    config = LoopSimConfig(overhead=1.0, faults=FaultPlan.chaos(2e-3))
+    kwargs = dict(replications=8, seed=2012, config=config)
+    serial = replicate_application(
+        app, group, make_technique("FAC"),
+        backend=SerialBackend(), **kwargs,
+    )
+    pooled = replicate_application(
+        app, group, make_technique("FAC"), backend=pool, **kwargs
+    )
+    assert serial.makespans == pooled.makespans

@@ -71,6 +71,34 @@ class TestCommands:
         assert "Table VI" in out
         assert "paper" in out
 
+    def test_robustness_chaos_mode(self, capsys):
+        assert main(
+            [
+                "robustness", "--replications", "2", "--seed", "1",
+                "--faults", "--fault-rate", "2e-4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault-free baseline" in out
+        assert "chaos impact" in out
+
+    def test_scenario_with_faults(self, capsys):
+        assert main(
+            [
+                "scenario", "1", "--replications", "2", "--seed", "1",
+                "--faults",
+            ]
+        ) == 0
+        assert "rho1" in capsys.readouterr().out
+
+    def test_workers_auto_accepted(self, capsys):
+        assert main(["--workers", "auto", "tables"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_workers_zero_accepted(self, capsys):
+        assert main(["--workers", "0", "tables"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
 
 class TestRecommendAndChart:
     def test_recommend_paper(self, capsys):

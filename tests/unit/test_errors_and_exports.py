@@ -8,6 +8,7 @@ import repro
 from repro.errors import (
     AllocationError,
     InfeasibleAllocationError,
+    FaultError,
     ModelError,
     PMFError,
     ReproError,
@@ -25,6 +26,7 @@ class TestHierarchy:
             InfeasibleAllocationError,
             SchedulingError,
             SimulationError,
+            FaultError,
         ):
             assert issubclass(exc, ReproError)
 
@@ -49,6 +51,7 @@ class TestPackageSurface:
             "repro.ra",
             "repro.dls",
             "repro.sim",
+            "repro.faults",
             "repro.framework",
             "repro.paper",
             "repro.metrics",
@@ -69,6 +72,7 @@ class TestPackageSurface:
             "repro.ra",
             "repro.dls",
             "repro.sim",
+            "repro.faults",
             "repro.framework",
         ):
             mod = importlib.import_module(module)

@@ -5,7 +5,10 @@ task order, results, and (with per-task seeds) every simulated draw are
 identical between :class:`SerialBackend` and :class:`ProcessPoolBackend`.
 """
 
+import os
 import pickle
+import signal
+import tempfile
 from dataclasses import dataclass
 
 import pytest
@@ -21,6 +24,7 @@ from repro.exec import (
     Task,
     default_workers,
     get_backend,
+    parse_workers,
 )
 from repro.sim import LoopSimConfig, replicate_application, replication_seeds
 
@@ -51,11 +55,35 @@ class TestDefaultWorkers:
         monkeypatch.setenv(ENV_WORKERS, "4")
         assert default_workers() == 4
 
-    @pytest.mark.parametrize("raw", ["zero", "1.5", "0", "-2"])
+    @pytest.mark.parametrize("raw", ["auto", "AUTO", " auto ", "0"])
+    def test_auto_means_all_cores(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_WORKERS, raw)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("raw", ["zero", "1.5", "-2"])
     def test_bad_values_rejected(self, monkeypatch, raw):
         monkeypatch.setenv(ENV_WORKERS, raw)
         with pytest.raises(ExecutionError):
             default_workers()
+
+
+class TestParseWorkers:
+    @pytest.mark.parametrize("raw", ["auto", "Auto", 0, "0"])
+    def test_auto_spellings(self, raw):
+        assert parse_workers(raw) == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("raw,expected", [("3", 3), (5, 5), (" 2 ", 2)])
+    def test_explicit_counts(self, raw, expected):
+        assert parse_workers(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["many", "2.5", -1, "-4", None])
+    def test_invalid_specs_rejected(self, raw):
+        with pytest.raises(ExecutionError):
+            parse_workers(raw)
+
+    def test_source_named_in_error(self):
+        with pytest.raises(ExecutionError, match="--workers"):
+            parse_workers("nope", source="--workers")
 
 
 class TestGetBackend:
@@ -79,9 +107,15 @@ class TestGetBackend:
 
     def test_invalid_count_rejected(self):
         with pytest.raises(ExecutionError):
-            get_backend(0)
+            get_backend(-1)
         with pytest.raises(ExecutionError):
-            ProcessPoolBackend(0)
+            ProcessPoolBackend(-1)
+
+    def test_zero_and_auto_mean_all_cores(self):
+        expected = os.cpu_count() or 1
+        with get_backend(0) as a, get_backend("auto") as b:
+            assert a.workers == expected
+            assert b.workers == expected
 
 
 class TestSerialBackend:
@@ -146,6 +180,85 @@ class TestProcessPoolBackend:
             tiny_app, group, make_technique("FAC"), backend=pool, **kwargs
         )
         assert pooled.makespans == serial.makespans
+
+
+@dataclass(frozen=True)
+class KillOnceTask:
+    """Kills its worker process the first time it runs, then succeeds.
+
+    The sentinel file records that the kill already happened, so the
+    retried submission completes normally.
+    """
+
+    sentinel: str
+    value: int
+
+    def run(self) -> int:
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.value * 10
+
+
+@dataclass(frozen=True)
+class FailingTask:
+    """Raises a deterministic in-task error."""
+
+    def run(self) -> None:
+        raise ValueError("deliberate task failure")
+
+
+class TestPoolResilience:
+    def test_survives_killed_worker(self, pool):
+        """A SIGKILLed worker breaks the pool; the backend rebuilds it
+        and re-submits the unfinished tasks, completing the batch."""
+        sentinel = tempfile.mktemp(prefix="repro-kill-")
+        tasks = [
+            SquareTask(1),
+            KillOnceTask(sentinel, 7),
+            SquareTask(2),
+            SquareTask(3),
+        ]
+        try:
+            assert pool.run_tasks(tasks) == [1, 70, 4, 9]
+        finally:
+            if os.path.exists(sentinel):
+                os.remove(sentinel)
+
+    def test_pool_usable_after_recovery(self, pool):
+        sentinel = tempfile.mktemp(prefix="repro-kill-")
+        try:
+            pool.run_tasks([KillOnceTask(sentinel, 1)])
+        finally:
+            if os.path.exists(sentinel):
+                os.remove(sentinel)
+        assert pool.run_tasks([SquareTask(4)]) == [16]
+
+    def test_task_error_wrapped_and_named(self, pool):
+        with pytest.raises(ExecutionError, match="FailingTask"):
+            pool.run_tasks([SquareTask(1), FailingTask()])
+
+    def test_task_error_not_retried(self, pool):
+        """A raising task fails the batch immediately (deterministic
+        errors are not worth pool rebuilds)."""
+        with pytest.raises(ExecutionError, match="deliberate"):
+            pool.run_tasks([FailingTask()])
+
+    def test_retries_counted_when_observed(self, pool):
+        sentinel = tempfile.mktemp(prefix="repro-kill-")
+        try:
+            with obs.observed() as session:
+                result = pool.run_tasks(
+                    [SquareTask(2), KillOnceTask(sentinel, 3)]
+                )
+            assert result == [4, 30]
+            counters = session.metrics.snapshot()["counters"]
+            assert counters["exec.retries"] >= 1.0
+            assert counters["exec.tasks"] == 2.0
+        finally:
+            if os.path.exists(sentinel):
+                os.remove(sentinel)
 
 
 class TestWorkerObservability:
