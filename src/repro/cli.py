@@ -17,6 +17,13 @@ Observability (the flags come *before* the subcommand)::
     python -m repro --metrics robustness            # metrics summary tables
     python -m repro --log-level debug tables        # diagnostics on stderr
 
+Run store and analysis (``REPRO_RUN_DIR`` is the flagless equivalent)::
+
+    python -m repro --run-dir runs/ scenario 4 --faults   # record artifacts
+    python -m repro --run-dir runs/ runs                  # list past runs
+    python -m repro report runs/<id> --chrome-trace t.json
+    python -m repro compare runs/<idA> runs/<idB>
+
 All deliverable output goes to stdout through :func:`repro.obs.console`;
 diagnostics go to the ``repro`` logger on stderr.
 """
@@ -24,19 +31,32 @@ diagnostics go to the ``repro`` logger on stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .dls import ALL_TECHNIQUES
+from .errors import ObservabilityError
 from .exec import ExecutionBackend, get_backend
 from .framework import Scenario, format_observability, run_scenario
 from .obs import (
+    ENV_RUN_DIR,
+    Observation,
+    RunRecorder,
+    RunStore,
     configure_logging,
     console,
     current,
+    current_recorder,
     metrics_snapshot,
     obs_enabled,
     observed,
+    recording,
+    render_run_comparison,
+    render_run_report,
+    resolve_run,
+    write_chrome_trace,
 )
 from .paper import (
     data,
@@ -85,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         "0 or 'auto' = one per CPU core (default: $REPRO_WORKERS, "
         "else 1 = serial; results are identical at any worker count)",
     )
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="record this invocation as a run directory under DIR "
+        "(manifest, trace, metrics, result tables; default: "
+        f"${ENV_RUN_DIR}); past runs feed 'report' and 'compare'",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print Tables I, IV, V and phi_1")
@@ -123,6 +149,34 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="write the paper instance as a JSON file"
     )
     exp.add_argument("path", help="output file, e.g. paper_instance.json")
+
+    sub.add_parser("runs", help="list recorded runs under --run-dir")
+
+    rep = sub.add_parser(
+        "report", help="render a markdown report of one recorded run"
+    )
+    rep.add_argument(
+        "run", help="run directory, or a run id under --run-dir"
+    )
+    rep.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the markdown to PATH instead of stdout",
+    )
+    rep.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="additionally export the run's worker timelines as "
+        "Chrome trace-event JSON (open in Perfetto)",
+    )
+
+    cmp_ = sub.add_parser(
+        "compare", help="diff two recorded runs (B relative to A)"
+    )
+    cmp_.add_argument("run_a", help="baseline run directory or id")
+    cmp_.add_argument("run_b", help="comparison run directory or id")
+    cmp_.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the markdown to PATH instead of stdout",
+    )
     return parser
 
 
@@ -202,8 +256,35 @@ def _figure_kwargs(args) -> dict:
     return kwargs
 
 
+def _record_result(name: str, payload: dict) -> None:
+    """Stage a result table on the current run recorder, if any."""
+    recorder = current_recorder()
+    if recorder is not None:
+        recorder.record_result(name, payload)
+
+
 def _cmd_figure(args, backend: ExecutionBackend) -> int:
     series = figure_series(args.name, backend=backend, **_figure_kwargs(args))
+    _record_result(
+        "figure",
+        {
+            "kind": "figure",
+            "figure": args.name,
+            "scenario_name": series.scenario.name,
+            "deadline": series.deadline,
+            "robustness": series.result.robustness.as_dict(),
+            "cells": [
+                {
+                    "case": case,
+                    "app": app,
+                    "technique": tech,
+                    "time": t,
+                    "meets_deadline": bool(ok),
+                }
+                for case, app, tech, t, ok in series.rows
+            ],
+        },
+    )
     if args.chart:
         from .reporting import render_grouped_barchart
 
@@ -257,14 +338,41 @@ def _cmd_scenario(args, backend: ExecutionBackend) -> int:
         backend=backend,
     )
     study = result.stage_ii
-    rows = []
+    cells = []
     for case in study.case_ids:
         for app in study.app_names:
             for tech in study.technique_names:
                 t = study.time(case, tech, app)
-                rows.append(
-                    (case, app, tech, t, "yes" if t <= data.DEADLINE else "NO")
+                cells.append(
+                    {
+                        "case": case,
+                        "app": app,
+                        "technique": tech,
+                        "time": t,
+                        "meets_deadline": t <= data.DEADLINE,
+                    }
                 )
+    _record_result(
+        "scenario",
+        {
+            "kind": "scenario",
+            "scenario": args.number,
+            "scenario_name": _SCENARIOS[args.number].name,
+            "deadline": data.DEADLINE,
+            "robustness": result.robustness.as_dict(),
+            "cells": cells,
+        },
+    )
+    rows = [
+        (
+            c["case"],
+            c["app"],
+            c["technique"],
+            c["time"],
+            "yes" if c["meets_deadline"] else "NO",
+        )
+        for c in cells
+    ]
     _print(
         render_table(
             ["case", "app", "technique", "time", "meets deadline"],
@@ -286,6 +394,31 @@ def _cmd_robustness(args, backend: ExecutionBackend) -> int:
         paper_cases(),
         backend=backend,
     )
+    study = result.stage_ii
+    payload: dict = {
+        "kind": "robustness",
+        "deadline": study.config.deadline,
+        "robustness": result.robustness.as_dict(),
+        "best_techniques": {
+            app: {
+                case: study.best_technique(case, app)
+                for case in study.case_ids
+            }
+            for app in study.app_names
+        },
+        "cells": [
+            {
+                "case": case,
+                "app": app,
+                "technique": tech,
+                "time": study.time(case, tech, app),
+                "meets_deadline": study.meets_deadline(case, tech, app),
+            }
+            for case in study.case_ids
+            for app in study.app_names
+            for tech in study.technique_names
+        ],
+    }
     _print(
         render_table(
             ["app", *result.stage_ii.case_ids],
@@ -324,6 +457,7 @@ def _cmd_robustness(args, backend: ExecutionBackend) -> int:
         impact = FaultImpact(
             baseline=baseline.robustness, faulty=result.robustness
         )
+        payload["fault_impact"] = impact.as_dict()
         console(
             f"fault-free baseline (rho1, rho2) = "
             f"({100 * impact.baseline.rho1:.2f}%, {impact.baseline.rho2:.2f}%)"
@@ -333,6 +467,7 @@ def _cmd_robustness(args, backend: ExecutionBackend) -> int:
             f"rho2 drop {impact.rho2_drop:.2f} pp "
             f"(fault rate {args.fault_rate:g})"
         )
+    _record_result("robustness", payload)
     return 0
 
 
@@ -379,31 +514,166 @@ def _finish_observed(args) -> None:
         _print(format_observability(metrics_snapshot()))
 
 
+# ---------------------------------------------------------- run-store layer
+
+
+def _run_base(args) -> str | None:
+    """The run-store base directory: ``--run-dir`` or ``$REPRO_RUN_DIR``."""
+    base = args.run_dir if args.run_dir else os.environ.get(ENV_RUN_DIR)
+    return base or None
+
+
+def _make_recorder(args, argv: Sequence[str] | None) -> RunRecorder | None:
+    """A recorder for this invocation, or None when run capture is off."""
+    base = _run_base(args)
+    if base is None:
+        return None
+    from dataclasses import asdict
+
+    from ._version import __version__
+
+    recorder = RunRecorder(
+        base, argv=list(argv) if argv is not None else sys.argv[1:]
+    )
+    fields: dict[str, object] = {
+        "command": args.command,
+        "repro_version": __version__,
+    }
+    if args.workers is not None:
+        fields["workers"] = args.workers
+    if getattr(args, "number", None) is not None:
+        fields["scenario"] = args.number
+    if args.command == "figure":
+        fields["figure"] = args.name
+    for key in ("seed", "replications", "statistic"):
+        value = getattr(args, key, None)
+        if value is not None:
+            fields[key] = value
+    if getattr(args, "faults", False):
+        from .faults import FaultPlan
+
+        fields["faults"] = True
+        fields["fault_rate"] = args.fault_rate
+        fields["fault_plan"] = asdict(FaultPlan.chaos(args.fault_rate))
+    recorder.annotate(**fields)
+    return recorder
+
+
+def _write_or_print(text: str, output: str | None, label: str) -> None:
+    if output:
+        Path(output).write_text(text, encoding="utf-8")
+        console(f"wrote {label} to {output}")
+    else:
+        console(text)
+
+
+def _cmd_runs(args) -> int:
+    base = _run_base(args)
+    if base is None:
+        console("no run store: pass --run-dir DIR or set $REPRO_RUN_DIR")
+        return 2
+    records = RunStore(base).list()
+    if not records:
+        console(f"no recorded runs under {base}")
+        return 0
+    _print(
+        render_table(
+            ["run", "command", "started", "wall s", "exit"],
+            [
+                (
+                    r.run_id,
+                    r.manifest.get("command", "?"),
+                    r.manifest.get("started", "?"),
+                    r.manifest.get("wall_seconds", "-"),
+                    r.manifest.get("exit_code", "-"),
+                )
+                for r in records
+            ],
+            title=f"Recorded runs under {base}",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    run = resolve_run(args.run, base_dir=_run_base(args))
+    _write_or_print(render_run_report(run), args.output, "report")
+    if args.chrome_trace:
+        timelines = run.timelines()
+        write_chrome_trace(args.chrome_trace, timelines)
+        console(
+            f"wrote Chrome trace ({len(timelines)} timeline(s)) to "
+            f"{args.chrome_trace} — open it at https://ui.perfetto.dev"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    base = _run_base(args)
+    a = resolve_run(args.run_a, base_dir=base)
+    b = resolve_run(args.run_b, base_dir=base)
+    _write_or_print(render_run_comparison(a, b), args.output, "comparison")
+    return 0
+
+
+_ANALYSIS_COMMANDS = {
+    "runs": _cmd_runs,
+    "report": _cmd_report,
+    "compare": _cmd_compare,
+}
+
+
+def _run(args, recorder: RunRecorder | None = None) -> int:
+    """Dispatch one command, optionally observed and/or recorded."""
+    observe = bool(args.trace or args.metrics or recorder is not None)
+    with get_backend(args.workers) as backend:
+        if not observe:
+            return _dispatch(args, backend)
+        session: Observation | None = None
+        code = 1
+        try:
+            if obs_enabled():
+                # An observation session is already active (REPRO_OBS env
+                # gate): reuse it rather than splitting the trace across
+                # two sessions.
+                session = current()
+                assert session is not None
+                code = _dispatch(args, backend)
+                _finish_observed(args)
+                if args.trace:
+                    session.export(args.trace)
+                    console(f"wrote trace to {args.trace}")
+            else:
+                with observed(trace_path=args.trace) as session:
+                    code = _dispatch(args, backend)
+                    _finish_observed(args)
+                if args.trace:
+                    console(f"wrote trace to {args.trace}")
+        finally:
+            if recorder is not None:
+                # Finalize even when the command raised, so a crashed
+                # run still leaves a loadable artifact.
+                path = recorder.finalize(session, exit_code=code)
+                console(f"recorded run {recorder.run_id} at {path}")
+        return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level:
         configure_logging(args.log_level)
-    with get_backend(args.workers) as backend:
-        if not (args.trace or args.metrics):
-            return _dispatch(args, backend)
-        if obs_enabled():
-            # An observation session is already active (REPRO_OBS env
-            # gate): reuse it rather than splitting the trace across two
-            # sessions.
-            session = current()
-            assert session is not None
-            code = _dispatch(args, backend)
-            _finish_observed(args)
-            if args.trace:
-                session.export(args.trace)
-                console(f"wrote trace to {args.trace}")
-            return code
-        with observed(trace_path=args.trace):
-            code = _dispatch(args, backend)
-            _finish_observed(args)
-    if args.trace:
-        console(f"wrote trace to {args.trace}")
-    return code
+    handler = _ANALYSIS_COMMANDS.get(args.command)
+    if handler is not None:
+        try:
+            return handler(args)
+        except ObservabilityError as exc:
+            console(f"error: {exc}")
+            return 2
+    recorder = _make_recorder(args, argv)
+    if recorder is None:
+        return _run(args)
+    with recording(recorder):
+        return _run(args, recorder)
 
 
 def _cmd_recommend(args) -> int:

@@ -86,6 +86,11 @@ class SchedulingSession(ABC):
         self._scheduled = 0
         self._chunk_log: list[tuple[int, int]] = []  # (worker_id, size)
         self._retired: set[int] = set()
+        #: Metrics label (the technique name): when set, chunk sizes are
+        #: additionally recorded in a ``dls.chunk_size.<label>`` histogram
+        #: so per-technique distributions survive into run reports. The
+        #: simulator stamps it after creating the session.
+        self.label: str | None = None
 
     # ------------------------------------------------------------------ intro
 
@@ -128,6 +133,8 @@ class SchedulingSession(ABC):
         self._chunk_log.append((worker_id, size))
         if obs_enabled():
             observe_value("dls.chunk_size", float(size))
+            if self.label is not None:
+                observe_value(f"dls.chunk_size.{self.label}", float(size))
         return size
 
     def requeue(self, size: int) -> None:

@@ -250,11 +250,15 @@ class ProcessPoolBackend(ExecutionBackend):
                     results[i] = out
                 else:
                     result, worker, records, metrics = out
-                    session.tracer.adopt_records(
+                    # Spans AND events come back: worker-side sim.chunk /
+                    # fault events keep their remapped sim.app parents,
+                    # so run-store timelines cover pool runs too.
+                    adopted = session.tracer.adopt_records(
                         records, attributes={"worker": worker}
                     )
                     session.metrics.merge(metrics)
                     obs.incr("exec.tasks")
+                    obs.incr("exec.adopted_spans", float(len(adopted)))
                     results[i] = result
             pending = unfinished
             if pending:

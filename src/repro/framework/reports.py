@@ -161,9 +161,18 @@ def format_observability(snapshot: Mapping[str, Any] | None) -> str:
     if histograms:
         sections.append(
             render_table(
-                ["histogram", "count", "mean", "min", "max"],
+                ["histogram", "count", "mean", "p50", "p90", "p99", "min", "max"],
                 [
-                    (name, h["count"], h["mean"], h["min"], h["max"])
+                    (
+                        name,
+                        h["count"],
+                        h["mean"],
+                        h.get("p50"),
+                        h.get("p90"),
+                        h.get("p99"),
+                        h["min"],
+                        h["max"],
+                    )
                     for name, h in sorted(histograms.items())
                 ],
                 title="Observability: histograms",

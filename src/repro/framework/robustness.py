@@ -81,6 +81,23 @@ class SystemRobustness:
     def as_tuple(self) -> tuple[float, float]:
         return (self.rho1, self.rho2)
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready form, as stored in run manifests and result tables."""
+        return {"rho1": self.rho1, "rho2": self.rho2}
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping[str, object]) -> "SystemRobustness":
+        """Rebuild from :meth:`as_dict` output (run-store round-trip)."""
+        try:
+            return cls(
+                rho1=float(payload["rho1"]),  # type: ignore[arg-type]
+                rho2=float(payload["rho2"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(
+                f"not a robustness mapping: {payload!r} ({exc})"
+            ) from exc
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SystemRobustness(rho1={self.rho1:.4f}, rho2={self.rho2:.2f}%)"
 
@@ -108,3 +125,12 @@ class FaultImpact:
     def rho2_drop(self) -> float:
         """Loss of tolerated availability decrease, in percentage points."""
         return self.baseline.rho2 - self.faulty.rho2
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (run-store result tables, ``repro compare``)."""
+        return {
+            "baseline": self.baseline.as_dict(),
+            "faulty": self.faulty.as_dict(),
+            "rho1_drop": self.rho1_drop,
+            "rho2_drop": self.rho2_drop,
+        }

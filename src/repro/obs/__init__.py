@@ -47,10 +47,27 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .report import (
+    SpanAggregate,
+    render_run_comparison,
+    render_run_report,
+    span_self_times,
+)
+from .runs import (
+    ENV_RUN_DIR,
+    RunRecord,
+    RunRecorder,
+    RunStore,
+    current_recorder,
+    load_run,
+    recording,
+    resolve_run,
+)
 from .spans import (
     NULL_SPAN,
     TRACE_SCHEMA_VERSION,
     AttrValue,
+    Event,
     NullSpan,
     Span,
     SpanHandle,
@@ -58,39 +75,73 @@ from .spans import (
     read_trace,
     write_records,
 )
+from .timeline import (
+    AppTimeline,
+    ChunkInterval,
+    TimelineEvent,
+    TimelineStats,
+    WorkerTimeline,
+    chrome_trace_events,
+    timeline_from_result,
+    timelines_from_records,
+    write_chrome_trace,
+)
 
 __all__ = [
     "ENV_FLAG",
+    "ENV_RUN_DIR",
     "ENV_TRACE",
     "LOGGER_NAME",
     "TRACE_SCHEMA_VERSION",
     "DEFAULT_BUCKET_BOUNDS",
+    "AppTimeline",
     "AttrValue",
+    "ChunkInterval",
     "Counter",
+    "Event",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullSpan",
     "NULL_SPAN",
     "Observation",
+    "RunRecord",
+    "RunRecorder",
+    "RunStore",
     "Span",
+    "SpanAggregate",
     "SpanHandle",
+    "TimelineEvent",
+    "TimelineStats",
     "Tracer",
+    "WorkerTimeline",
+    "chrome_trace_events",
     "configure_logging",
     "console",
     "current",
+    "current_recorder",
+    "event",
     "gauge_set",
     "get_logger",
     "incr",
+    "load_run",
     "log",
     "metrics_snapshot",
     "obs_enabled",
     "observe_value",
     "observed",
     "read_trace",
+    "recording",
+    "render_run_comparison",
+    "render_run_report",
+    "resolve_run",
     "span",
+    "span_self_times",
     "start",
     "stop",
+    "timeline_from_result",
+    "timelines_from_records",
+    "write_chrome_trace",
     "write_records",
 ]
 
@@ -208,6 +259,18 @@ def span(name: str, **attributes: AttrValue) -> SpanHandle | NullSpan:
     if session is None:
         return NULL_SPAN
     return session.tracer.span(name, attributes)
+
+
+def event(name: str, time: float, **attributes: AttrValue) -> None:
+    """Record a domain-time point event (no-op when disabled).
+
+    ``time`` is in the caller's own time base — the simulator passes
+    simulated time — and the event is parented under the currently open
+    span; see :meth:`Tracer.event`.
+    """
+    session = _active
+    if session is not None:
+        session.tracer.event(name, time, attributes)
 
 
 def incr(name: str, amount: float = 1.0) -> None:

@@ -7,7 +7,8 @@ The registry is deliberately tiny and dependency-free:
 * :class:`Gauge` — last-value-wins readings with min/max (phase
   durations, robustness values);
 * :class:`Histogram` — fixed-boundary bucket counts plus count/sum/min/
-  max (PMF support sizes, chunk sizes, makespans).
+  max and bucket-interpolated p50/p90/p99 quantiles (PMF support sizes,
+  chunk sizes, makespans).
 
 Metric names are dot-separated (``"dls.chunks.FAC"``); one name maps to
 exactly one metric kind — re-registering under a different kind raises
@@ -18,6 +19,7 @@ after the spans by :meth:`repro.obs.Observation.export`.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from collections.abc import Sequence
 
@@ -128,6 +130,37 @@ class Histogram:
             return None
         return self.total / self.count
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        The estimate interpolates linearly inside the bucket containing
+        the target rank, with the bucket edges clamped to the observed
+        min/max (so the overflow bucket and the outermost edges never
+        inflate the estimate beyond data actually seen). Exact when all
+        observations in the target bucket are equal; within one bucket
+        width otherwise. None before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"histogram {self.name!r} percentile must be in [0, 1], got {q}"
+            )
+        if self.count == 0 or self.minimum is None or self.maximum is None:
+            return None
+        rank = max(1.0, math.ceil(q * self.count))
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else self.minimum
+                hi = self.bounds[i] if i < len(self.bounds) else self.maximum
+                lo = min(max(lo, self.minimum), self.maximum)
+                hi = min(max(hi, self.minimum), self.maximum)
+                fraction = (rank - cumulative) / n
+                return lo + (hi - lo) * fraction
+            cumulative += n
+        return self.maximum  # pragma: no cover - rank <= count always hits
+
     def snapshot(self) -> dict[str, object]:
         buckets = [
             [self.bounds[i] if i < len(self.bounds) else None, n]
@@ -140,6 +173,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.minimum,
             "max": self.maximum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
             "buckets": buckets,
         }
 

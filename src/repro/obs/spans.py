@@ -7,8 +7,15 @@ produces a tree (``cdsf.run`` → ``cdsf.stage_ii`` → ``study.case`` →
 timestamps from a monotonic clock (injectable for tests) plus a flat
 attribute dict of JSON-scalar values.
 
+Spans measure *wall-clock* work. The simulator additionally emits
+:class:`Event` records — zero-duration points stamped with a caller
+supplied **domain** timestamp (simulated time) — for per-chunk and fault
+occurrences; an event is parented under the currently open span, which
+is how :mod:`repro.obs.timeline` later re-attaches chunk events to their
+``sim.app`` run.
+
 The trace file is JSON Lines: one ``{"type": "meta", ...}`` header
-followed by one record per span (and, when a
+followed by one record per span and event (and, when a
 :class:`~repro.obs.metrics.MetricsRegistry` is exported alongside, one
 record per metric). :func:`read_trace` parses it back for tests and
 ad-hoc analysis.
@@ -28,10 +35,12 @@ from typing import Union
 
 from ..contracts import check_span_monotone, contracts_enabled
 from ..errors import ObservabilityError
+from .logs import get_logger
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "AttrValue",
+    "Event",
     "Span",
     "SpanHandle",
     "NullSpan",
@@ -41,8 +50,9 @@ __all__ = [
     "write_records",
 ]
 
-#: Bumped when the shape of the JSONL records changes.
-TRACE_SCHEMA_VERSION = 1
+#: Bumped when the shape of the JSONL records changes. Version 2 added
+#: ``{"type": "event", ...}`` records (domain-time point events).
+TRACE_SCHEMA_VERSION = 2
 
 #: Values a span attribute may carry (JSON scalars).
 AttrValue = Union[bool, int, float, str]
@@ -76,6 +86,35 @@ class Span:
             "start": self.start,
             "end": self.end,
             "duration": self.duration,
+            "attrs": dict(self.attributes),
+        }
+
+
+@dataclass
+class Event:
+    """One zero-duration point event stamped with a *domain* timestamp.
+
+    Unlike spans (wall-clock work), events carry a caller-supplied
+    ``time`` in whatever clock the emitting subsystem runs on — for the
+    simulator, simulated time units. ``parent_id`` is the span that was
+    open when the event fired, which ties simulator chunk/fault events
+    to their enclosing ``sim.app`` run.
+    """
+
+    name: str
+    event_id: int
+    parent_id: int | None
+    time: float
+    attributes: dict[str, AttrValue] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, object]:
+        """The event as one JSONL trace record."""
+        return {
+            "type": "event",
+            "id": self.event_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "time": self.time,
             "attrs": dict(self.attributes),
         }
 
@@ -162,6 +201,7 @@ class Tracer:
         )
         self._stack: list[Span] = []
         self._finished: list[Span] = []
+        self._events: list[Event] = []
         self._next_id = 1
 
     # ------------------------------------------------------------------ state
@@ -176,9 +216,15 @@ class Tracer:
         """Closed spans, in closing order."""
         return tuple(self._finished)
 
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """Point events, in emission order."""
+        return tuple(self._events)
+
     def clear(self) -> None:
-        """Drop all finished spans (open spans are left untouched)."""
+        """Drop all finished spans and events (open spans are untouched)."""
         self._finished.clear()
+        self._events.clear()
 
     # ------------------------------------------------------------------ spans
 
@@ -219,6 +265,32 @@ class Tracer:
             )
         self._finished.append(span)
 
+    # ----------------------------------------------------------------- events
+
+    def event(
+        self,
+        name: str,
+        time: float,
+        attributes: Mapping[str, AttrValue] | None = None,
+    ) -> Event:
+        """Record a point event at domain timestamp ``time``.
+
+        The event is parented under the currently open span (None at the
+        top level). ``time`` is *not* read from the tracer clock — the
+        caller supplies it in its own time base (the simulator passes
+        simulated time).
+        """
+        event = Event(
+            name=name,
+            event_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            time=float(time),
+            attributes=dict(attributes or {}),
+        )
+        self._next_id += 1
+        self._events.append(event)
+        return event
+
     # ------------------------------------------------------------------ merge
 
     def adopt_records(
@@ -227,7 +299,7 @@ class Tracer:
         *,
         attributes: Mapping[str, AttrValue] | None = None,
     ) -> list[Span]:
-        """Graft span records produced elsewhere into this tracer's tree.
+        """Graft span/event records produced elsewhere into this tracer.
 
         Used by the parallel backends: a pool worker runs each task under
         its own observation session and ships the finished span records
@@ -237,12 +309,25 @@ class Tracer:
         ``attributes`` (e.g. ``worker=<pid>``) are stamped onto every
         adopted span. Timestamps are kept verbatim — on one host all
         processes share the monotonic clock.
+
+        Event records are adopted the same way: their parent span id is
+        remapped (so a worker-side ``sim.chunk`` event stays attached to
+        its ``sim.app`` span) and the extra attributes are stamped on.
+        Stamps are *defaults*, not overrides — an attribute already
+        present on the record wins, so a ``sim.chunk`` event's domain
+        ``worker`` (the simulated worker slot) survives adoption under a
+        pool that stamps ``worker=<pid>``.
+        Returns the adopted spans; adopted events land in :attr:`events`.
         """
         extra = dict(attributes or {})
         graft_parent = self._stack[-1].span_id if self._stack else None
         id_map: dict[object, int] = {}
         adopted: list[Span] = []
+        events: list[dict[str, object]] = []
         for record in records:
+            if record.get("type") == "event":
+                events.append(record)
+                continue
             if record.get("type") != "span":
                 continue
             new_id = self._next_id
@@ -260,7 +345,7 @@ class Tracer:
             attrs: dict[str, AttrValue] = (
                 dict(attrs_raw) if isinstance(attrs_raw, dict) else {}
             )
-            attrs.update(extra)
+            attrs = {**extra, **attrs}  # record's own attributes win
             span = Span(
                 name=str(record["name"]),
                 span_id=new_id,
@@ -275,14 +360,46 @@ class Tracer:
             )
             self._finished.append(span)
             adopted.append(span)
+        # Second pass: events, after every worker-side span id is known.
+        for record in events:
+            attrs_raw = record.get("attrs")
+            attrs: dict[str, AttrValue] = (
+                dict(attrs_raw) if isinstance(attrs_raw, dict) else {}
+            )
+            attrs = {**extra, **attrs}  # record's own attributes win
+            old_parent = record.get("parent")
+            event = Event(
+                name=str(record["name"]),
+                event_id=self._next_id,
+                parent_id=(
+                    graft_parent
+                    if old_parent is None
+                    else id_map.get(old_parent, graft_parent)
+                ),
+                time=float(record["time"]),  # type: ignore[arg-type]
+                attributes=attrs,
+            )
+            self._next_id += 1
+            self._events.append(event)
         return adopted
 
     # ----------------------------------------------------------------- export
 
     def records(self) -> list[dict[str, object]]:
-        """Finished spans as JSONL records, ordered by start time."""
+        """Finished spans and events as JSONL records.
+
+        Spans come first, ordered by wall-clock start time; events follow,
+        ordered by (domain time, emission order). Spans preceding events
+        means a consumer — :meth:`adopt_records`, the timeline builder —
+        always sees an event's parent span before the event itself.
+        """
         ordered = sorted(self._finished, key=lambda s: (s.start, s.span_id))
-        return [span.to_record() for span in ordered]
+        out: list[dict[str, object]] = [span.to_record() for span in ordered]
+        for event in sorted(
+            self._events, key=lambda e: (e.time, e.event_id)
+        ):
+            out.append(event.to_record())
+        return out
 
     def write_jsonl(self, path: str | Path) -> Path:
         """Write a standalone trace file (meta header + span records)."""
@@ -309,9 +426,26 @@ def write_records(
     return target
 
 
-def read_trace(path: str | Path) -> list[dict[str, object]]:
-    """Parse a JSONL trace file back into its records (meta included)."""
+def read_trace(
+    path: str | Path, *, on_error: str = "raise"
+) -> list[dict[str, object]]:
+    """Parse a JSONL trace file back into its records (meta included).
+
+    A malformed line never leaks a bare ``json.JSONDecodeError``:
+
+    * ``on_error="raise"`` (default) — raise
+      :class:`~repro.errors.ObservabilityError` naming the file and the
+      1-based line number of the first bad line;
+    * ``on_error="skip"`` — drop malformed lines (a warning with the
+      skipped count is logged on the ``repro.obs.trace`` logger), so a
+      trace truncated by a crashed writer still yields its good prefix.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ObservabilityError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
     records: list[dict[str, object]] = []
+    skipped = 0
     with Path(path).open("r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -320,12 +454,22 @@ def read_trace(path: str | Path) -> list[dict[str, object]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if on_error == "skip":
+                    skipped += 1
+                    continue
                 raise ObservabilityError(
                     f"{path}:{lineno}: invalid trace line: {exc}"
                 ) from exc
             if not isinstance(record, dict):
+                if on_error == "skip":
+                    skipped += 1
+                    continue
                 raise ObservabilityError(
                     f"{path}:{lineno}: trace record is not an object"
                 )
             records.append(record)
+    if skipped:
+        get_logger("obs.trace").warning(
+            "skipped %d malformed line(s) while reading %s", skipped, path
+        )
     return records

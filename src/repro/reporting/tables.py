@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-__all__ = ["render_table", "format_cell"]
+__all__ = ["render_table", "render_markdown_table", "format_cell"]
 
 
 def format_cell(value: object, *, floatfmt: str = ".2f") -> str:
@@ -70,6 +70,48 @@ def render_table(
     for row in str_rows:
         lines.append(fmt_row(row))
     lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render a GitHub-flavored markdown pipe table.
+
+    Same cell formatting as :func:`render_table`; numeric columns get a
+    right-aligning separator (``---:``). Used by the ``repro report`` /
+    ``repro compare`` markdown reports.
+    """
+    str_rows = [
+        [format_cell(cell, floatfmt=floatfmt) for cell in row] for row in rows
+    ]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+
+    def is_numeric(col: int) -> bool:
+        return all(
+            _looks_numeric(row[col]) for row in str_rows
+        ) and bool(str_rows)
+
+    def escape(cell: str) -> str:
+        return cell.replace("|", "\\|")
+
+    lines = ["| " + " | ".join(escape(h) for h in headers) + " |"]
+    lines.append(
+        "| "
+        + " | ".join(
+            "---:" if is_numeric(i) else "---" for i in range(len(headers))
+        )
+        + " |"
+    )
+    for row in str_rows:
+        lines.append("| " + " | ".join(escape(c) for c in row) + " |")
     return "\n".join(lines)
 
 

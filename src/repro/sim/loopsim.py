@@ -27,6 +27,7 @@ from ..exec.backends import ExecutionBackend, SerialBackend
 from ..exec.seeds import SeedTree
 from ..exec.tasks import ReplicateTask
 from ..faults import FaultInjector, FaultPlan, degraded_boundaries
+from ..obs import event as obs_event
 from ..obs import incr, obs_enabled, observe_value, span
 from ..rng import spawn_rngs
 from ..system import (
@@ -160,6 +161,25 @@ class _InFlight:
     lost: bool = field(default=False)
 
 
+def _chunk_event(record: ChunkRecord) -> None:
+    """Emit the ``sim.chunk`` trace event for one completed dispatch.
+
+    The event carries the full interval (request/start/finish, in
+    simulated time) under the enclosing ``sim.app`` span, which is what
+    :mod:`repro.obs.timeline` rebuilds worker timelines from. Callers
+    guard on :func:`~repro.obs.obs_enabled`.
+    """
+    obs_event(
+        "sim.chunk",
+        record.finish_time,
+        worker=record.worker_id,
+        size=record.size,
+        request=record.request_time,
+        start=record.start_time,
+        finish=record.finish_time,
+    )
+
+
 def _pick_master(
     candidates: list[SimWorker], policy: str, at: float
 ) -> SimWorker:
@@ -225,9 +245,13 @@ def run_parallel_loop(
         dead.add(wid)
         crashed.append(wid)
         wake = now
+        if obs_enabled():
+            obs_event("sim.crash", now, worker=wid, lost=lost_size)
         if lost_size > 0:
             session.requeue(lost_size)
             rescheduled += lost_size
+            if obs_enabled():
+                obs_event("sim.requeue", now, worker=wid, size=lost_size)
         session.retire(wid)
         if wid == master_id and injector is not None:
             alive = [w for w in workers if w.worker_id not in dead]
@@ -239,6 +263,14 @@ def run_parallel_loop(
             )
             master_id = new_master.worker_id
             wake = now + injector.failover_delay
+            if obs_enabled():
+                obs_event(
+                    "sim.failover",
+                    now,
+                    worker=new_master.worker_id,
+                    old=wid,
+                    delay=injector.failover_delay,
+                )
         if session.remaining > 0:
             # Orphaned iterations need takers — both a lost in-flight
             # chunk just re-queued and a reservation the retirement
@@ -272,6 +304,8 @@ def run_parallel_loop(
                 chunks.append(inflight.record)
                 executed += inflight.size
                 finish_times[wid] = inflight.finish
+                if obs_enabled():
+                    _chunk_event(inflight.record)
                 queue.push(inflight.finish, worker)
                 continue
             _handle_crash(wid, now, inflight.size)
@@ -312,6 +346,8 @@ def run_parallel_loop(
                 degradations += applied
                 finish = float(adjusted[-1])
                 wall_times = np.diff(np.concatenate(([start], adjusted)))
+                if obs_enabled():
+                    obs_event("sim.degraded", start, worker=wid, applied=applied)
         record = ChunkRecord(
             worker_id=wid,
             size=size,
@@ -339,6 +375,8 @@ def run_parallel_loop(
         chunks.append(record)
         executed += size
         finish_times[wid] = finish
+        if obs_enabled():
+            _chunk_event(record)
         queue.push(finish, worker)
     return ParallelLoopResult(
         chunks=chunks,
@@ -380,16 +418,27 @@ def simulate_application(
         group_type=group.ptype.name,
         group_size=group.size,
         faults=faulty,
-    ):
+    ) as sp:
         result = _simulate_application(
             app, group, technique, seed=seed, config=config,
             availability=availability,
+        )
+        # Post-hoc attributes: the timeline builder needs the loop start
+        # (serial_time) to reproduce worker finish times exactly.
+        sp.set(
+            serial_time=result.serial_time,
+            makespan=result.makespan,
+            chunks=len(result.chunks),
         )
     if obs_enabled():
         incr("sim.apps")
         incr("sim.iterations", float(result.iterations_executed))
         incr(f"dls.chunks.{technique.name}", float(len(result.chunks)))
         observe_value("sim.makespan", result.makespan)
+        observe_value(f"sim.makespan.{technique.name}", result.makespan)
+        observe_value(
+            f"sim.imbalance.{technique.name}", result.load_imbalance()
+        )
     return result
 
 
@@ -432,6 +481,7 @@ def _simulate_application(
         for w in workers
     ]
     session = technique.session(app.n_parallel, states)
+    session.label = technique.name
     loop = run_parallel_loop(
         workers, session, par_model, serial_end, config,
         injector=injector, master_id=master_id,

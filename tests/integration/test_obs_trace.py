@@ -113,3 +113,110 @@ class TestTracedRun:
             paper_cases(),
         )
         assert plain.robustness == traced_result.robustness
+
+
+class TestTimelineRoundTrip:
+    """The persisted trace is enough to rebuild exact worker timelines."""
+
+    def test_file_timelines_match_span_attributes(self, traced_run):
+        from repro.obs import timelines_from_records
+
+        _, records, _ = traced_run
+        spans = {r["id"]: r for r in records if r["type"] == "span"}
+        timelines = timelines_from_records(records)
+        assert timelines, "no timelines reconstructed from the trace"
+        for timeline in timelines:
+            attrs = spans[timeline.span_id]["attrs"]
+            # The sim.app span records its result post-hoc; the timeline
+            # rebuilt from chunk events must agree with it exactly.
+            assert timeline.app == attrs["app"]
+            assert timeline.technique == attrs["technique"]
+            assert timeline.start == pytest.approx(attrs["serial_time"])
+            assert timeline.makespan == pytest.approx(attrs["makespan"])
+            assert timeline.stats().n_chunks == attrs["chunks"]
+            assert timeline.case is not None  # study.case ancestor found
+
+    def test_faulted_run_round_trips_requeues(self, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.obs import timeline_from_result, timelines_from_records
+        from repro.sim import LoopSimConfig, simulate_application
+        from repro.apps import Application, normal_exectime_model
+        from repro.dls import make_technique
+        from repro.system import HeterogeneousSystem, ProcessorType
+
+        system = HeterogeneousSystem([ProcessorType("t", 4)])
+        app = Application(
+            "fapp", 20, 400, normal_exectime_model({"t": 420.0}, cv=0.1)
+        )
+        config = LoopSimConfig(faults=FaultPlan.chaos(3e-3))
+        path = tmp_path / "faulted.jsonl"
+        results = []
+        with obs.observed(trace_path=path):
+            for seed in range(6):
+                results.append(
+                    simulate_application(
+                        app, system.group("t", 4), make_technique("FAC"),
+                        seed=seed, config=config,
+                    )
+                )
+        timelines = timelines_from_records(read_trace(path))
+        assert len(timelines) == len(results)
+        assert any(r.rescheduled_iterations > 0 for r in results), (
+            "chaos plan never requeued work; raise the rate"
+        )
+        for timeline, result in zip(timelines, results):
+            expected = timeline_from_result(result)
+            assert timeline.worker_finish_times() == pytest.approx(
+                expected.worker_finish_times()
+            )
+            assert timeline.load_imbalance() == pytest.approx(
+                result.load_imbalance()
+            )
+            stats = timeline.stats()
+            assert stats.crashes == len(result.crashed_workers)
+            assert stats.requeued == result.rescheduled_iterations
+
+    def test_pool_adopted_chunk_events_rebuild_timelines(self, tmp_path):
+        from repro.dls import make_technique
+        from repro.exec import ProcessPoolBackend
+        from repro.obs import timelines_from_records
+        from repro.sim import replicate_application
+        from repro.apps import Application, normal_exectime_model
+        from repro.system import HeterogeneousSystem, ProcessorType
+
+        system = HeterogeneousSystem([ProcessorType("t", 4)])
+        app = Application(
+            "papp", 10, 200, normal_exectime_model({"t": 210.0}, cv=0.1)
+        )
+        path = tmp_path / "pool.jsonl"
+        backend = ProcessPoolBackend(2)
+        try:
+            with obs.observed(trace_path=path):
+                serial = replicate_application(
+                    app, system.group("t", 4), make_technique("FAC"),
+                    replications=4, seed=3,
+                )
+                pooled = replicate_application(
+                    app, system.group("t", 4), make_technique("FAC"),
+                    replications=4, seed=3, backend=backend,
+                )
+        finally:
+            backend.close()
+        assert pooled.makespans == serial.makespans
+        records = read_trace(path)
+        timelines = timelines_from_records(records)
+        # 4 serial replicates + 4 adopted from pool workers.
+        assert len(timelines) == 8
+        serial_tl, pooled_tl = timelines[:4], timelines[4:]
+        assert sorted(t.makespan for t in pooled_tl) == pytest.approx(
+            sorted(t.makespan for t in serial_tl)
+        )
+        assert sorted(t.load_imbalance() for t in pooled_tl) == pytest.approx(
+            sorted(t.load_imbalance() for t in serial_tl)
+        )
+        chunk_events = [
+            r for r in records
+            if r["type"] == "event" and r["name"] == "sim.chunk"
+        ]
+        stamped = [e for e in chunk_events if "worker" in e["attrs"]]
+        assert len(stamped) == len(chunk_events)

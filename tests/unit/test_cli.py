@@ -181,3 +181,112 @@ class TestObservabilityFlags:
             for handler in logger.handlers[:]:
                 if handler not in before:
                     logger.removeHandler(handler)
+
+
+class TestRunStoreCommands:
+    @pytest.fixture
+    def recorded(self, tmp_path, capsys):
+        """Two recorded scenario runs (fault-free and faulted) in one store."""
+        base = tmp_path / "runs"
+        for extra in ([], ["--faults", "--fault-rate", "3e-4"]):
+            assert main(
+                ["--run-dir", str(base), "scenario", "1",
+                 "--replications", "1", "--seed", "1", *extra]
+            ) == 0
+        capsys.readouterr()
+        from repro.obs import RunStore
+
+        ids = RunStore(base).run_ids()
+        assert len(ids) == 2
+        return base, ids
+
+    def test_run_dir_records_invocation(self, recorded, capsys):
+        import repro.obs as obs
+
+        base, ids = recorded
+        assert not obs.obs_enabled()
+        run = obs.RunStore(base).load(ids[0])
+        assert run.manifest["command"] == "scenario"
+        assert run.manifest["scenario"] == 1
+        assert run.manifest["seed"] == 1
+        assert run.manifest["exit_code"] == 0
+        assert "scenario" in run.results()
+        assert run.timelines(), "run dir should rebuild worker timelines"
+
+    def test_env_var_enables_recording(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import ENV_RUN_DIR, RunStore
+
+        base = tmp_path / "envruns"
+        monkeypatch.setenv(ENV_RUN_DIR, str(base))
+        assert main(["techniques"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded run" in out
+        assert len(RunStore(base).run_ids()) == 1
+
+    def test_runs_lists_store(self, recorded, capsys):
+        base, ids = recorded
+        assert main(["--run-dir", str(base), "runs"]) == 0
+        out = capsys.readouterr().out
+        for rid in ids:
+            assert rid in out
+        assert "scenario" in out
+
+    def test_runs_empty_store(self, tmp_path, capsys):
+        assert main(["--run-dir", str(tmp_path / "none"), "runs"]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+    def test_runs_without_base_errors(self, capsys, monkeypatch):
+        from repro.obs import ENV_RUN_DIR
+
+        monkeypatch.delenv(ENV_RUN_DIR, raising=False)
+        assert main(["runs"]) == 2
+        assert "--run-dir" in capsys.readouterr().out
+
+    def test_report_by_id_and_path(self, recorded, capsys):
+        base, ids = recorded
+        assert main(["--run-dir", str(base), "report", ids[0]]) == 0
+        by_id = capsys.readouterr().out
+        assert f"# repro run `{ids[0]}`" in by_id
+        assert "## Worker timelines" in by_id
+        assert main(["report", str(base / ids[0])]) == 0
+        by_path = capsys.readouterr().out
+        assert f"# repro run `{ids[0]}`" in by_path
+
+    def test_report_output_and_chrome_trace(self, recorded, capsys, tmp_path):
+        import json
+
+        base, ids = recorded
+        md = tmp_path / "report.md"
+        chrome = tmp_path / "chrome.json"
+        assert main(
+            ["report", str(base / ids[0]),
+             "-o", str(md), "--chrome-trace", str(chrome)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(md) in out
+        assert "perfetto" in out.lower()
+        assert md.read_text().startswith("# repro run")
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+
+    def test_report_unknown_run_errors(self, recorded, capsys):
+        base, _ = recorded
+        assert main(["--run-dir", str(base), "report", "nope"]) == 2
+        assert "neither a run" in capsys.readouterr().out
+
+    def test_compare_two_runs(self, recorded, capsys):
+        base, ids = recorded
+        assert main(["--run-dir", str(base), "compare", ids[0], ids[1]]) == 0
+        out = capsys.readouterr().out
+        assert f"# repro compare `{ids[0]}` vs `{ids[1]}`" in out
+        assert "## Robustness" in out
+        assert "## Largest counter deltas" in out
+
+    def test_analysis_commands_are_not_recorded(self, recorded, capsys):
+        """report/compare/runs read the store; they must not add runs."""
+        from repro.obs import RunStore
+
+        base, ids = recorded
+        assert main(["--run-dir", str(base), "runs"]) == 0
+        assert main(["--run-dir", str(base), "report", ids[0]]) == 0
+        assert RunStore(base).run_ids() == ids

@@ -346,3 +346,163 @@ class TestFormatObservability:
         assert "counters" in text and "sim.apps" in text
         assert "gauges" in text and "cdsf.rho1" in text
         assert "histograms" in text and "pmf.support" in text
+
+
+# ------------------------------------------------------------------- events
+
+
+class TestEvents:
+    def test_event_parented_under_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("app") as handle:
+            ev = tracer.event("sim.chunk", 42.0, {"worker": 1})
+        assert ev.parent_id == handle.span.span_id
+        assert ev.time == 42.0
+        assert ev.attributes == {"worker": 1}
+
+    def test_top_level_event_has_no_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        ev = tracer.event("tick", 1.0)
+        assert ev.parent_id is None
+
+    def test_records_spans_then_events_by_time(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("app"):
+            tracer.event("late", 9.0)
+            tracer.event("early", 2.0)
+        kinds = [r["type"] for r in tracer.records()]
+        assert kinds == ["span", "event", "event"]
+        names = [r["name"] for r in tracer.records()]
+        assert names == ["app", "early", "late"]  # domain-time order
+
+    def test_clear_drops_events(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.event("tick", 1.0)
+        tracer.clear()
+        assert tracer.events == ()
+
+    def test_event_hook_noop_when_disabled(self):
+        assert not obs.obs_enabled()
+        assert obs.event("sim.chunk", 1.0, worker=0) is None
+
+    def test_event_hook_records_when_enabled(self):
+        session = obs.start()
+        with obs.span("app"):
+            obs.event("sim.chunk", 3.0, worker=2, size=8)
+        obs.stop(export=False)
+        (ev,) = session.tracer.events
+        assert ev.name == "sim.chunk"
+        assert ev.attributes == {"worker": 2, "size": 8}
+
+    def test_event_round_trips_through_jsonl(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("app"):
+            tracer.event("sim.chunk", 5.0, {"worker": 0})
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        meta, span_rec, event_rec = read_trace(path)
+        assert meta["records"] == 2
+        assert event_rec["type"] == "event"
+        assert event_rec["parent"] == span_rec["id"]
+        assert event_rec["time"] == 5.0
+        assert event_rec["attrs"] == {"worker": 0}
+
+    def test_adopt_remaps_event_parents_and_stamps_attrs(self):
+        worker = Tracer(clock=FakeClock())
+        with worker.span("sim.app"):
+            worker.event("sim.chunk", 7.0, {"size": 4})
+        worker.event("orphan", 8.0)  # no open span worker-side
+        parent = Tracer(clock=FakeClock())
+        with parent.span("study.case") as graft:
+            adopted = parent.adopt_records(
+                worker.records(), attributes={"worker": 123}
+            )
+        (app_span,) = adopted
+        assert app_span.attributes["worker"] == 123
+        chunk, orphan = sorted(parent.events, key=lambda e: e.time)
+        assert chunk.parent_id == app_span.span_id
+        assert chunk.attributes == {"size": 4, "worker": 123}
+        # Worker-side roots (and orphan events) graft under the open span.
+        assert orphan.parent_id == graft.span.span_id
+
+    def test_read_trace_skip_keeps_good_prefix(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("good"):
+            pass
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        with path.open("a") as fh:
+            fh.write("not json\n[1]\n")
+        with pytest.raises(ObservabilityError, match=r":3: invalid trace line"):
+            read_trace(path)
+        records = read_trace(path, on_error="skip")
+        assert [r.get("name") for r in records if r["type"] == "span"] == [
+            "good"
+        ]
+
+    def test_read_trace_rejects_unknown_on_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{}\n")
+        with pytest.raises(ObservabilityError, match="on_error"):
+            read_trace(path, on_error="ignore")
+
+
+# -------------------------------------------------------------- percentiles
+
+
+class TestHistogramPercentiles:
+    def test_none_before_observations(self):
+        h = Histogram("h", bounds=[1.0, 10.0])
+        assert h.percentile(0.5) is None
+        snap = h.snapshot()
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("h", bounds=[1.0])
+        h.observe(0.5)
+        with pytest.raises(ObservabilityError, match=r"\[0, 1\]"):
+            h.percentile(1.5)
+        with pytest.raises(ObservabilityError, match=r"\[0, 1\]"):
+            h.percentile(-0.1)
+
+    def test_single_value_all_percentiles_equal(self):
+        h = Histogram("h", bounds=[1.0, 10.0])
+        for _ in range(5):
+            h.observe(4.0)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.percentile(q) == pytest.approx(4.0)
+
+    def test_estimates_clamped_to_observed_range(self):
+        h = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for v in (2.0, 3.0, 50.0, 99.0):
+            h.observe(v)
+        assert h.percentile(0.0) >= 2.0
+        assert h.percentile(1.0) <= 99.0
+
+    def test_overflow_bucket_clamped_to_max(self):
+        h = Histogram("h", bounds=[1.0])
+        for v in (0.5, 500.0):
+            h.observe(v)
+        # p99 lands in the unbounded overflow bucket: clamp to max seen.
+        assert h.percentile(0.99) == pytest.approx(500.0)
+
+    def test_median_within_one_bucket_width(self):
+        h = Histogram("h", bounds=[1.0, 2.0, 4.0, 8.0])
+        values = [0.5, 1.5, 1.6, 3.0, 3.5, 5.0, 6.0, 7.0]
+        for v in values:
+            h.observe(v)
+        median = sorted(values)[len(values) // 2 - 1]
+        assert abs(h.percentile(0.5) - median) <= 2.0  # bucket (2, 4] width
+
+    def test_snapshot_percentiles_ordered(self):
+        h = Histogram("h", bounds=[1.0, 2.0, 4.0, 8.0, 16.0])
+        for v in range(1, 20):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p90"] <= snap["p99"]
+        assert snap["p99"] <= snap["max"]
+
+    def test_format_observability_shows_percentiles(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        text = format_observability(reg.snapshot())
+        assert "p50" in text and "p90" in text and "p99" in text
