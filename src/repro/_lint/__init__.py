@@ -25,9 +25,11 @@ from .core import (
     all_rules,
     known_ids,
     lint_sources,
+    parse_paths,
     register,
     run_lint,
 )
+from .graph import ProjectGraph
 
 # Importing the rule modules populates the registry (side-effect imports).
 from . import rules_rng  # noqa: F401  (registers RNG001-RNG003)
@@ -37,14 +39,19 @@ from . import rules_floats  # noqa: F401  (registers FLT001)
 from . import rules_exports  # noqa: F401  (registers ALL001-ALL003)
 from . import rules_obs  # noqa: F401  (registers OBS001-OBS002)
 from . import rules_exec  # noqa: F401  (registers EXEC001)
+from . import rules_poolsafety  # noqa: F401  (registers EXEC101-EXEC102)
+from . import rules_determinism  # noqa: F401  (registers RNG101)
+from . import rules_schema  # noqa: F401  (registers OBS101-OBS103)
 
 __all__ = [
     "Finding",
     "Module",
+    "ProjectGraph",
     "Rule",
     "all_rules",
     "known_ids",
     "lint_sources",
+    "parse_paths",
     "register",
     "run_lint",
 ]

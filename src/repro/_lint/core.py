@@ -12,8 +12,9 @@ Path gating uses ``Module.pkgpath`` — the module's path *inside* the
 identically whether the scan root is ``src``, ``src/repro``, or a test
 fixture tree containing a ``repro`` directory.
 
-Suppression: a ``# lint: skip=RULE1,RULE2`` (or ``skip=all``) comment on
-the offending line silences findings for that line.
+Suppression: a ``lint: skip=RULE1,RULE2`` (or ``skip=all``) hash-comment
+on the offending line silences findings for that line; the opt-in
+``report_unused_skips`` audit flags entries that suppress nothing.
 """
 
 from __future__ import annotations
@@ -21,7 +22,7 @@ from __future__ import annotations
 import ast
 import re
 from collections.abc import Iterable, Iterator, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "known_ids",
     "lint_modules",
     "lint_sources",
+    "parse_paths",
     "register",
     "run_lint",
 ]
@@ -43,13 +45,20 @@ _RULE_ID_RE = re.compile(r"^[A-Z]{3,4}[0-9]{3}$")
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One invariant violation at a source location."""
+    """One invariant violation at a source location.
+
+    ``pkgpath`` is the location inside the ``repro`` package — stable
+    across scan roots, which is what baseline files match on (display
+    ``path`` changes with the working directory, line numbers change
+    with every edit).
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    pkgpath: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -91,7 +100,12 @@ class Module:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Finding(
-            path=self.path, line=line, col=col, rule=rule_id, message=message
+            path=self.path,
+            line=line,
+            col=col,
+            rule=rule_id,
+            message=message,
+            pkgpath=self.pkgpath,
         )
 
 
@@ -125,6 +139,22 @@ class Rule:
 _REGISTRY: dict[str, type[Rule]] = {}
 
 
+class UnusedSuppressionRule(Rule):
+    """Pseudo-rule for the opt-in stale-suppression audit.
+
+    Registered so ``LNT001`` shows in ``--list-rules`` and is selectable;
+    the findings themselves are synthesized by :func:`lint_modules` (they
+    depend on which other rules ran), not by a check hook.
+    """
+
+    id = "LNT001"
+    title = "no stale `lint: skip` suppressions (opt-in audit)"
+    rationale = (
+        "a suppression that no longer matches any finding hides the next "
+        "real regression on that line; audit with --report-unused-skips"
+    )
+
+
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding a rule to the global registry."""
     if not _RULE_ID_RE.match(cls.id):
@@ -146,6 +176,9 @@ def known_ids() -> set[str]:
     for rule in all_rules().values():
         ids.update(rule.emitted_ids())
     return ids
+
+
+register(UnusedSuppressionRule)
 
 
 # --------------------------------------------------------------------- helpers
@@ -258,12 +291,17 @@ def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
 
 
 def lint_modules(
-    modules: Sequence[Module], *, select: Iterable[str] | None = None
+    modules: Sequence[Module],
+    *,
+    select: Iterable[str] | None = None,
+    report_unused_skips: bool = False,
 ) -> list[Finding]:
     """Run the registered rules over ``modules``.
 
     ``select`` filters the *findings* to the given ids (a checker emitting
     several ids is still run once); unknown ids raise ``KeyError``.
+    ``report_unused_skips`` adds ``LNT001`` findings for ``lint: skip``
+    entries that suppressed nothing (audited only for rules that ran).
     """
     wanted: set[str] | None = None
     if select is not None:
@@ -272,29 +310,99 @@ def lint_modules(
         if unknown:
             raise KeyError(f"unknown rule ids: {sorted(unknown)}")
     findings: list[Finding] = []
+    ran_ids: set[str] = set()
     for rule in all_rules().values():
         if wanted is not None and not wanted.intersection(rule.emitted_ids()):
             continue
+        ran_ids.update(rule.emitted_ids())
         for module in modules:
             findings.extend(rule.check_module(module))
         findings.extend(rule.check_project(modules))
-    by_module = {module.path: module for module in modules}
-    kept = [
-        finding
-        for finding in findings
-        if (wanted is None or finding.rule in wanted)
-        and not (
-            finding.path in by_module
-            and by_module[finding.path].suppressed(finding.line, finding.rule)
+    by_path = {module.path: module for module in modules}
+    used: set[tuple[str, int, str]] = set()
+    kept: list[Finding] = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None:
+            if not finding.pkgpath:
+                finding = replace(finding, pkgpath=module.pkgpath)
+            ids = module.skips.get(finding.line)
+            if ids is not None:
+                hits = {
+                    entry
+                    for entry in ids
+                    if entry in (finding.rule, "all", "*")
+                }
+                if hits:
+                    used.update(
+                        (finding.path, finding.line, entry) for entry in hits
+                    )
+                    continue
+        if wanted is not None and finding.rule not in wanted:
+            continue
+        kept.append(finding)
+    if report_unused_skips and (wanted is None or "LNT001" in wanted):
+        kept.extend(
+            _unused_skip_findings(
+                modules, ran_ids, used, audit_catchall=wanted is None
+            )
         )
-    ]
     return sorted(kept)
 
 
-def run_lint(
-    paths: Sequence[str | Path], *, select: Iterable[str] | None = None
+def _unused_skip_findings(
+    modules: Sequence[Module],
+    ran_ids: set[str],
+    used: set[tuple[str, int, str]],
+    *,
+    audit_catchall: bool,
 ) -> list[Finding]:
-    """Lint files/directories; returns sorted findings (empty = clean)."""
+    """``LNT001`` findings for suppressions that suppressed nothing.
+
+    ``skip=all``/``skip=*`` entries are only auditable when every rule
+    ran (``audit_catchall``); per-id entries only when their rule ran.
+    Entries naming an id no rule emits are always reported.
+    """
+    known = known_ids()
+    out: list[Finding] = []
+    for module in modules:
+        for line, ids in sorted(module.skips.items()):
+            for entry in sorted(ids):
+                if entry in ("all", "*"):
+                    if not audit_catchall:
+                        continue
+                    message = (
+                        f"unused suppression `lint: skip={entry}`: "
+                        "no finding on this line"
+                    )
+                elif entry not in known:
+                    message = (
+                        f"suppression references unknown rule id `{entry}`"
+                    )
+                elif entry not in ran_ids:
+                    continue
+                else:
+                    message = (
+                        f"unused suppression `lint: skip={entry}`: "
+                        f"no {entry} finding on this line"
+                    )
+                if (module.path, line, entry) in used:
+                    continue
+                out.append(
+                    Finding(
+                        path=module.path,
+                        line=line,
+                        col=0,
+                        rule="LNT001",
+                        message=message,
+                        pkgpath=module.pkgpath,
+                    )
+                )
+    return out
+
+
+def parse_paths(paths: Sequence[str | Path]) -> list[Module]:
+    """Parse files/directories into :class:`Module`\\ s (no rules run)."""
     modules: list[Module] = []
     for path in _collect_files(paths):
         source = path.read_text(encoding="utf-8")
@@ -307,11 +415,28 @@ def run_lint(
                 source=source,
             )
         )
-    return lint_modules(modules, select=select)
+    return modules
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    report_unused_skips: bool = False,
+) -> list[Finding]:
+    """Lint files/directories; returns sorted findings (empty = clean)."""
+    return lint_modules(
+        parse_paths(paths),
+        select=select,
+        report_unused_skips=report_unused_skips,
+    )
 
 
 def lint_sources(
-    sources: Mapping[str, str], *, select: Iterable[str] | None = None
+    sources: Mapping[str, str],
+    *,
+    select: Iterable[str] | None = None,
+    report_unused_skips: bool = False,
 ) -> list[Finding]:
     """Lint in-memory sources keyed by pkgpath (test/fixture entry point)."""
     modules = [
@@ -323,4 +448,6 @@ def lint_sources(
         )
         for pkgpath, source in sources.items()
     ]
-    return lint_modules(modules, select=select)
+    return lint_modules(
+        modules, select=select, report_unused_skips=report_unused_skips
+    )

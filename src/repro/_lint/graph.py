@@ -1,0 +1,432 @@
+"""Project import graph and best-effort call graph for whole-program rules.
+
+Per-module rules (:mod:`repro._lint.rules_rng` & co.) see one file at a
+time; the EXEC1xx/RNG1xx/OBS1xx families need to reason about *flows* —
+which functions a pool task reaches, which literals an emitter passes to
+:func:`repro.obs.event`. :class:`ProjectGraph` gives them that view:
+
+* module naming — every :class:`~repro._lint.core.Module` becomes a
+  dotted name under the ``repro`` root derived from its ``pkgpath``
+  (``"sim/loopsim.py"`` → ``"repro.sim.loopsim"``), so the graph is
+  identical for real trees and in-memory fixtures;
+* an **alias table** per module from ``import``/``from … import``
+  statements (relative levels resolved), chased through re-exports;
+* a **function index** covering module-level functions, methods, nested
+  functions, and a ``<module>`` pseudo-function for top-level code;
+* **call edges** resolved in order: alias table → same-module names →
+  ``self.``/``cls.`` methods → class constructors → a method-name
+  fallback that links ``obj.session(...)`` to every project method named
+  ``session`` (the over-approximation that makes polymorphic dispatch
+  visible to reachability);
+* :meth:`ProjectGraph.reachable` — BFS over the call edges recording the
+  call chain to each function, for rendering findings.
+
+Everything is best-effort and sound-ish in one direction only: the graph
+may report extra edges (fallbacks), never fewer calls than the source
+spells out as plain names. Rules built on it must tolerate
+over-approximation, e.g. by exempting sanctioned modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from .core import Module, dotted_name
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ProjectGraph",
+    "module_name",
+    "render_chain",
+]
+
+#: Dotted-name root every pkgpath is anchored under.
+ROOT_PACKAGE = "repro"
+
+# Method names too generic for the polymorphism fallback: they collide
+# with dict/list/set/str/numpy methods and would drag unrelated project
+# methods into every reachability query.
+_FALLBACK_EXCLUDE = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "endswith",
+        "extend",
+        "format",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "max",
+        "mean",
+        "min",
+        "pop",
+        "read",
+        "remove",
+        "sort",
+        "split",
+        "startswith",
+        "std",
+        "strip",
+        "sum",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+
+# Strong refs to the keyed module lists keep the id() keys valid.
+_GRAPH_CACHE: dict[tuple[int, ...], tuple[list[Module], "ProjectGraph"]] = {}
+
+
+def module_name(pkgpath: str) -> str:
+    """Dotted module name for a pkgpath (``"sim/loopsim.py"`` style)."""
+    stem = pkgpath[:-3] if pkgpath.endswith(".py") else pkgpath
+    if stem == "__init__":
+        return ROOT_PACKAGE
+    if stem.endswith("/__init__"):
+        stem = stem[: -len("/__init__")]
+    return f"{ROOT_PACKAGE}.{stem.replace('/', '.')}"
+
+
+def _is_package(pkgpath: str) -> bool:
+    return pkgpath.endswith("__init__.py")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    raw: str  # dotted callee as written ("obs.incr", "self._emit")
+    resolved: str | None  # canonical dotted name after alias chasing
+    targets: tuple[str, ...]  # project function qualnames this may reach
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    """One function-like scope: def, method, nested def, or ``<module>``."""
+
+    qualname: str
+    name: str
+    module: Module
+    node: ast.AST  # FunctionDef/AsyncFunctionDef, or ast.Module
+    class_qual: str | None = None  # owning class qualname for methods
+    calls: list[CallSite] = field(default_factory=list)
+    nested: list[str] = field(default_factory=list)  # nested def qualnames
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qual is not None
+
+    @property
+    def class_name(self) -> str | None:
+        if self.class_qual is None:
+            return None
+        return self.class_qual.rsplit(".", 1)[1]
+
+
+class ProjectGraph:
+    """Import + call graph over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, Module] = {}  # modname -> Module
+        self.packages: set[str] = set()
+        self.aliases: dict[str, dict[str, str]] = {}  # modname -> local -> dotted
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, set[str]] = {}  # class qualname -> method names
+        self.methods_by_name: dict[str, tuple[str, ...]] = {}
+        self.module_imports: dict[str, set[str]] = {}  # internal import edges
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def for_modules(cls, modules: Sequence[Module]) -> ProjectGraph:
+        """Cached :meth:`build` — project rules running in one lint pass
+        over the same module list share a single graph."""
+        key = tuple(id(module) for module in modules)
+        hit = _GRAPH_CACHE.get(key)
+        if hit is not None and all(
+            kept is module for kept, module in zip(hit[0], modules)
+        ):
+            return hit[1]
+        graph = cls.build(modules)
+        if len(_GRAPH_CACHE) >= 4:
+            _GRAPH_CACHE.clear()
+        _GRAPH_CACHE[key] = (list(modules), graph)
+        return graph
+
+    @classmethod
+    def build(cls, modules: Sequence[Module]) -> ProjectGraph:
+        graph = cls()
+        for module in modules:
+            modname = module_name(module.pkgpath)
+            if modname in graph.modules:
+                continue  # duplicate pkgpath (overlapping scan roots)
+            graph.modules[modname] = module
+            if _is_package(module.pkgpath) or module.pkgpath == "__init__.py":
+                graph.packages.add(modname)
+        for modname, module in graph.modules.items():
+            graph.aliases[modname] = graph._collect_aliases(modname, module)
+            graph._index_module(modname, module)
+        by_name: dict[str, list[str]] = {}
+        for qualname, info in graph.functions.items():
+            if info.is_method and info.name not in _FALLBACK_EXCLUDE:
+                by_name.setdefault(info.name, []).append(qualname)
+        graph.methods_by_name = {
+            name: tuple(sorted(quals)) for name, quals in by_name.items()
+        }
+        for modname in graph.modules:
+            graph._resolve_calls(modname)
+            graph._collect_import_edges(modname)
+        return graph
+
+    def _collect_aliases(self, modname: str, module: Module) -> dict[str, str]:
+        table: dict[str, str] = {}
+        is_pkg = modname in self.packages
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        table[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(modname, is_pkg, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        return table
+
+    @staticmethod
+    def _import_base(modname: str, is_pkg: bool, node: ast.ImportFrom) -> str:
+        if not node.level:
+            return node.module or ""
+        parts = modname.split(".")
+        if not is_pkg:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            parts = parts[: -drop] if drop < len(parts) else parts[:1]
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    def _index_module(self, modname: str, module: Module) -> None:
+        pseudo = FunctionInfo(
+            qualname=f"{modname}.<module>",
+            name="<module>",
+            module=module,
+            node=module.tree,
+        )
+        self.functions[pseudo.qualname] = pseudo
+
+        def visit(
+            body: Iterable[ast.stmt],
+            prefix: str,
+            class_qual: str | None,
+            parent: FunctionInfo | None,
+        ) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}.{stmt.name}"
+                    info = FunctionInfo(
+                        qualname=qual,
+                        name=stmt.name,
+                        module=module,
+                        node=stmt,
+                        class_qual=class_qual,
+                    )
+                    self.functions[qual] = info
+                    if class_qual is not None:
+                        self.classes[class_qual].add(stmt.name)
+                    if parent is not None:
+                        parent.nested.append(qual)
+                    visit(stmt.body, qual, None, info)
+                elif isinstance(stmt, ast.ClassDef):
+                    qual = f"{prefix}.{stmt.name}"
+                    self.classes.setdefault(qual, set())
+                    visit(stmt.body, qual, qual, None)
+                elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With)):
+                    visit(stmt.body, prefix, class_qual, parent)
+                    visit(getattr(stmt, "orelse", []), prefix, class_qual, parent)
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body, prefix, class_qual, parent)
+                    for handler in stmt.handlers:
+                        visit(handler.body, prefix, class_qual, parent)
+                    visit(stmt.orelse, prefix, class_qual, parent)
+                    visit(stmt.finalbody, prefix, class_qual, parent)
+
+        visit(module.tree.body, modname, None, pseudo)
+
+    # ----------------------------------------------------------- resolution
+
+    def owner_module(self, dotted: str) -> str | None:
+        """Longest project module that is a prefix of ``dotted``."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:end])
+            if prefix in self.modules:
+                return prefix
+        return None
+
+    def resolve_name(self, modname: str, raw: str, _depth: int = 0) -> str:
+        """Canonical dotted name for ``raw`` as seen from ``modname``.
+
+        Substitutes the leading segment through the module's alias table
+        (``np.random`` → ``numpy.random``), prefixes same-module
+        definitions, and chases one re-export hop per recursion through
+        other project modules (``repro.obs.incr`` → the defining module).
+        Returns ``raw`` unchanged when nothing applies.
+        """
+        if _depth > 8:
+            return raw
+        head, _, rest = raw.partition(".")
+        table = self.aliases.get(modname, {})
+        if head in table:
+            resolved = f"{table[head]}.{rest}" if rest else table[head]
+        elif (
+            f"{modname}.{head}" in self.functions
+            or f"{modname}.{head}" in self.classes
+        ):
+            resolved = f"{modname}.{raw}"
+        else:
+            return raw
+        if resolved in self.functions or resolved in self.classes:
+            return resolved
+        owner = self.owner_module(resolved)
+        if owner is not None and owner != modname:
+            attr = resolved[len(owner) + 1 :]
+            if attr:
+                attr_head = attr.split(".", 1)[0]
+                defined = (
+                    f"{owner}.{attr_head}" in self.functions
+                    or f"{owner}.{attr_head}" in self.classes
+                )
+                if not defined and attr_head in self.aliases.get(owner, {}):
+                    return self.resolve_name(owner, attr, _depth + 1)
+        return resolved
+
+    def _call_targets(
+        self, modname: str, fn: FunctionInfo, raw: str
+    ) -> tuple[str | None, tuple[str, ...]]:
+        parts = raw.split(".")
+        if parts[0] in ("self", "cls") and fn.class_qual is not None:
+            if len(parts) >= 2:
+                candidate = f"{fn.class_qual}.{parts[1]}"
+                if candidate in self.functions:
+                    return candidate, (candidate,)
+                return None, self.methods_by_name.get(parts[-1], ())
+            return None, ()
+        resolved = self.resolve_name(modname, raw)
+        if resolved in self.functions:
+            return resolved, (resolved,)
+        if resolved in self.classes:
+            init = f"{resolved}.__init__"
+            return resolved, (init,) if init in self.functions else ()
+        if len(parts) > 1:
+            fallback = self.methods_by_name.get(parts[-1], ())
+            return (resolved if resolved != raw else None), fallback
+        return resolved, ()
+
+    def _resolve_calls(self, modname: str) -> None:
+        for info in self.functions.values():
+            if info.module is not self.modules[modname]:
+                continue
+            for node in _own_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                raw = dotted_name(node.func)
+                if raw is None:
+                    continue
+                resolved, targets = self._call_targets(modname, info, raw)
+                info.calls.append(
+                    CallSite(raw=raw, resolved=resolved, targets=targets, node=node)
+                )
+
+    def _collect_import_edges(self, modname: str) -> None:
+        edges: set[str] = set()
+        for target in self.aliases.get(modname, {}).values():
+            owner = self.owner_module(target)
+            if owner is not None and owner != modname:
+                edges.add(owner)
+        self.module_imports[modname] = edges
+
+    # --------------------------------------------------------- reachability
+
+    def functions_in(self, predicate: Callable[[Module], bool]) -> Iterator[FunctionInfo]:
+        """Every function whose module satisfies ``predicate``."""
+        for info in self.functions.values():
+            if predicate(info.module):
+                yield info
+
+    def reachable(
+        self,
+        entries: Iterable[str],
+        *,
+        skip: Callable[[Module], bool] | None = None,
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS closure over call edges: qualname → call chain from an entry.
+
+        ``skip`` prunes traversal *into* functions of matching modules
+        (used to stop at sanctioned boundaries like ``obs/``). Nested
+        defs count as reachable from their enclosing function.
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: deque[str] = deque()
+        for entry in entries:
+            if entry in self.functions and entry not in chains:
+                chains[entry] = (entry,)
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            info = self.functions[current]
+            successors: list[str] = list(info.nested)
+            for site in info.calls:
+                successors.extend(site.targets)
+            for succ in successors:
+                if succ in chains:
+                    continue
+                target = self.functions.get(succ)
+                if target is None:
+                    continue
+                if skip is not None and skip(target.module):
+                    continue
+                chains[succ] = chains[current] + (succ,)
+                queue.append(succ)
+        return chains
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Nodes belonging to ``root``'s scope, not descending into nested
+    function/class definitions (those are separate :class:`FunctionInfo`\\ s).
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def render_chain(chain: Sequence[str]) -> str:
+    """Human-readable ``a -> b -> c`` with the repro prefix trimmed."""
+    prefix = f"{ROOT_PACKAGE}."
+    shown = [q[len(prefix) :] if q.startswith(prefix) else q for q in chain]
+    return " -> ".join(shown)

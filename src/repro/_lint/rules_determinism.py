@@ -1,0 +1,126 @@
+"""Interprocedural determinism rule (whole-program).
+
+``RNG001``–``RNG003`` and ``OBS002`` police *lines*: a stray
+``np.random.default_rng()`` or ``time.time()`` where it is written. This
+family polices *flows*: a helper three calls away from the simulator
+that quietly reads ``os.urandom`` or the wall clock still breaks
+replayability, even though every individual line looks innocent from its
+own file.
+
+* ``RNG101`` — a nondeterminism source (stdlib ``random``, ``secrets``,
+  ``uuid.uuid1/uuid4``, ``os.urandom``, ``datetime.now``-family, or a
+  ``time`` clock) is reachable, through the best-effort call graph, from
+  a simulator / stage-I entry point without flowing through the
+  :class:`~repro.exec.seeds.SeedTree` discipline.
+
+Entry points: public module-level functions under ``repro/sim/``,
+``*Task.run`` methods in ``repro/exec/tasks.py`` (pool replay), and
+public functions/methods under ``repro/ra/`` (stage-I search).
+
+Exemptions encode the sanctioned escape hatches: traversal never enters
+``repro/obs/`` (its wall-clock use is the point), and sinks inside
+``repro/rng.py`` and ``repro/exec/seeds.py`` are ignored — they *are*
+the discipline (``SeedTree(None)`` intentionally draws OS entropy).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from .core import Finding, Module, Rule, register
+from .graph import FunctionInfo, ProjectGraph, render_chain
+from .rules_obs import _CLOCK_NAMES
+
+__all__ = ["DeterminismReachabilityRule"]
+
+#: Modules whose *sinks* are sanctioned (they implement the seed/clock
+#: discipline everything else must use).
+_SINK_EXEMPT = frozenset({"rng.py", "exec/seeds.py"})
+
+#: Package never traversed into (wall-clock use is its job).
+_OBS_PREFIX = "obs/"
+
+_EXACT_SINKS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_PREFIX_SINKS = ("secrets.",)
+
+
+def _sink_name(resolved: str | None, raw: str) -> str | None:
+    """The canonical nondeterminism source a call reaches, if any."""
+    name = resolved or raw
+    if name in _EXACT_SINKS:
+        return name
+    for prefix in _PREFIX_SINKS:
+        if name.startswith(prefix):
+            return name
+    if name.startswith("random."):
+        return name
+    if name.startswith("time.") and name.split(".", 1)[1] in _CLOCK_NAMES:
+        return name
+    return None
+
+
+def _entry_points(graph: ProjectGraph) -> list[str]:
+    entries: set[str] = set()
+    for info in graph.functions.values():
+        pkgpath = info.module.pkgpath
+        if info.name == "<module>" or info.name.startswith("_"):
+            continue
+        if pkgpath.startswith("sim/") and not info.is_method:
+            entries.add(info.qualname)
+        elif pkgpath == "exec/tasks.py" and info.is_method and info.name == "run":
+            entries.add(info.qualname)
+        elif pkgpath.startswith("ra/"):
+            entries.add(info.qualname)
+    return sorted(entries)
+
+
+@register
+class DeterminismReachabilityRule(Rule):
+    id = "RNG101"
+    title = "no nondeterminism reachable from simulator/stage-I entry points"
+    rationale = (
+        "a wall-clock or OS-entropy read buried in a helper breaks "
+        "bit-for-bit replay of simulations even when every call site "
+        "passes the per-line RNG rules; randomness must thread through "
+        "SeedTree-derived generators"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        graph = ProjectGraph.for_modules(modules)
+        entries = _entry_points(graph)
+        if not entries:
+            return
+        chains = graph.reachable(
+            entries, skip=lambda m: m.pkgpath.startswith(_OBS_PREFIX)
+        )
+        reported: set[int] = set()
+        for qualname in sorted(chains):
+            info: FunctionInfo = graph.functions[qualname]
+            if info.module.pkgpath in _SINK_EXEMPT:
+                continue
+            for site in info.calls:
+                sink = _sink_name(site.resolved, site.raw)
+                if sink is None or id(site.node) in reported:
+                    continue
+                reported.add(id(site.node))
+                yield info.module.finding(
+                    site.node,
+                    self.id,
+                    f"nondeterministic `{sink}` is reachable from stage "
+                    f"entry point via {render_chain(chains[qualname])}; "
+                    "thread randomness/clocks through SeedTree "
+                    "(repro.exec.seeds) or repro.rng instead",
+                )

@@ -11,7 +11,7 @@ guards should use an ordering (``<= 0.0``) or a tolerance.
 The rule is deliberately syntactic (it does not try to infer float-ness
 of variables); comparisons between two non-literal expressions are out of
 scope. Genuinely intentional exact comparisons can carry a
-``# lint: skip=FLT001`` pragma.
+``lint: skip=FLT001`` hash-comment pragma.
 """
 
 from __future__ import annotations

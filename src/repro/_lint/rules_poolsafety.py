@@ -1,0 +1,411 @@
+"""Pool-boundary safety rules (whole-program).
+
+The serial/pool equivalence guarantee of :mod:`repro.exec` rests on two
+structural facts: everything crossing the process boundary pickles, and
+no state is shared between the parent process and pool workers. Both
+break silently — a lambda in a task payload raises only when a pool
+backend is selected, and a module-level cache mutated inside a worker
+simply *diverges* from the parent copy. Two rules check the structure
+with the :mod:`repro._lint.graph` call graph:
+
+* ``EXEC101`` — non-picklable payloads (lambdas, generator expressions,
+  closures over nested functions, ``open()`` handles, ``threading`` /
+  ``multiprocessing`` synchronization primitives) passed at a pool
+  boundary: a ``*Task`` constructor, ``.submit(...)``, or
+  ``.run_tasks(...)``.
+* ``EXEC102`` — module-level mutable state (dicts/lists/sets) mutated by
+  code reachable from a pool-task entry point (``*Task.run``, functions
+  handed to ``.submit``/``initializer=``) while also referenced by
+  parent-process code in the same module. ``repro/obs/`` is exempt: the
+  worker-local obs session is the sanctioned mutable state, merged back
+  on join.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from .core import Finding, Module, Rule, dotted_name, register
+from .graph import FunctionInfo, ProjectGraph, render_chain
+
+__all__ = ["PoolPayloadRule", "SharedMutableStateRule"]
+
+#: Package whose worker-local mutations are sanctioned (merged on join).
+_OBS_PREFIX = "obs/"
+
+#: Method names that cross the process boundary with their arguments.
+_BOUNDARY_METHODS = frozenset({"submit", "run_tasks"})
+
+#: Constructors producing objects that never pickle.
+_UNPICKLABLE_CTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "threading.Barrier",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "multiprocessing.Condition",
+        "multiprocessing.Semaphore",
+        "multiprocessing.Event",
+    }
+)
+
+#: Mutating method names on built-in containers.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Calls that consume a generator expression on the spot — the payload
+#: that crosses the boundary is the materialized container, not the
+#: generator itself.
+_MATERIALIZERS = frozenset(
+    {
+        "all",
+        "any",
+        "dict",
+        "frozenset",
+        "list",
+        "max",
+        "min",
+        "sorted",
+        "sum",
+        "tuple",
+    }
+)
+
+#: Call names building a mutable container at module level.
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+
+def _is_task_class(graph: ProjectGraph, resolved: str | None) -> bool:
+    if resolved is None or resolved not in graph.classes:
+        return False
+    return resolved.rsplit(".", 1)[1].endswith("Task")
+
+
+def _boundary_label(graph: ProjectGraph, raw: str, resolved: str | None) -> str | None:
+    """Display name of the pool boundary a call crosses, if any."""
+    if _is_task_class(graph, resolved):
+        return resolved.rsplit(".", 1)[1] if resolved else raw
+    last = raw.rsplit(".", 1)[-1]
+    if last in _BOUNDARY_METHODS:
+        return raw
+    return None
+
+
+def _payload_nodes(call: ast.Call) -> Iterator[ast.expr]:
+    for arg in call.args:
+        yield arg.value if isinstance(arg, ast.Starred) else arg
+    for keyword in call.keywords:
+        yield keyword.value
+
+
+@register
+class PoolPayloadRule(Rule):
+    id = "EXEC101"
+    title = "no non-picklable payloads at pool boundaries"
+    rationale = (
+        "lambdas, closures, locks, and open handles in a task payload "
+        "pickle-fail only when a pool backend is selected, so the serial "
+        "path green-lights code the pool path cannot run"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        graph = ProjectGraph.for_modules(modules)
+        for modname, module in graph.modules.items():
+            for info in graph.functions.values():
+                if info.module is not module:
+                    continue
+                for site in info.calls:
+                    boundary = _boundary_label(graph, site.raw, site.resolved)
+                    if boundary is None:
+                        continue
+                    nested_names = {
+                        qual.rsplit(".", 1)[1] for qual in info.nested
+                    }
+                    for payload in _payload_nodes(site.node):
+                        yield from self._scan_payload(
+                            graph, modname, module, boundary, payload, nested_names
+                        )
+
+    def _scan_payload(
+        self,
+        graph: ProjectGraph,
+        modname: str,
+        module: Module,
+        boundary: str,
+        payload: ast.expr,
+        nested_names: set[str],
+    ) -> Iterator[Finding]:
+        materialized: set[int] = set()
+        for node in ast.walk(payload):
+            if isinstance(node, ast.Call):
+                raw = dotted_name(node.func)
+                is_join = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                )
+                if (raw in _MATERIALIZERS) or is_join:
+                    materialized.update(
+                        id(arg)
+                        for arg in node.args
+                        if isinstance(arg, ast.GeneratorExp)
+                    )
+        for node in ast.walk(payload):
+            what: str | None = None
+            if isinstance(node, ast.Lambda):
+                what = "a lambda"
+            elif isinstance(node, ast.GeneratorExp):
+                if id(node) in materialized:
+                    continue
+                what = "a generator expression"
+            elif isinstance(node, ast.Name) and node.id in nested_names:
+                what = f"nested function `{node.id}` (a closure)"
+            elif isinstance(node, ast.Call):
+                raw = dotted_name(node.func)
+                if raw is not None:
+                    resolved = graph.resolve_name(modname, raw)
+                    if resolved == "open":
+                        what = "an open file handle (`open(...)`)"
+                    elif resolved in _UNPICKLABLE_CTORS:
+                        what = f"a `{resolved}` synchronization primitive"
+            if what is not None:
+                yield module.finding(
+                    node,
+                    self.id,
+                    f"{what} flows into pool boundary `{boundary}`; task "
+                    "payloads must pickle (frozen dataclasses and "
+                    "module-level callables only)",
+                )
+
+
+def _pool_entries(graph: ProjectGraph) -> list[str]:
+    """Qualnames of functions that execute inside pool worker processes."""
+    entries: set[str] = set()
+    for class_qual, methods in graph.classes.items():
+        owner = graph.owner_module(class_qual)
+        if owner is None:
+            continue
+        module = graph.modules[owner]
+        if not module.pkgpath.startswith("exec/"):
+            continue
+        if class_qual.rsplit(".", 1)[1].endswith("Task") and "run" in methods:
+            entries.add(f"{class_qual}.run")
+    for info in graph.functions.values():
+        for site in info.calls:
+            if site.raw.rsplit(".", 1)[-1] == "submit" and site.node.args:
+                first = site.node.args[0]
+                if isinstance(first, ast.Name):
+                    owner_mod = _module_of(graph, info)
+                    resolved = graph.resolve_name(owner_mod, first.id)
+                    if resolved in graph.functions:
+                        entries.add(resolved)
+            for keyword in site.node.keywords:
+                if keyword.arg == "initializer" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    owner_mod = _module_of(graph, info)
+                    resolved = graph.resolve_name(owner_mod, keyword.value.id)
+                    if resolved in graph.functions:
+                        entries.add(resolved)
+    return sorted(entries)
+
+
+def _module_of(graph: ProjectGraph, info: FunctionInfo) -> str:
+    return graph.owner_module(info.qualname) or ""
+
+
+def _module_mutables(module: Module) -> dict[str, ast.stmt]:
+    """Top-level names bound to mutable containers, with their statements."""
+    mutables: dict[str, ast.stmt] = {}
+
+    def value_is_mutable(value: ast.expr | None) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return True
+        if isinstance(value, (ast.DictComp, ast.ListComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            raw = dotted_name(value.func)
+            return raw is not None and raw in _MUTABLE_FACTORIES
+        return False
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) and value_is_mutable(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        mutables[target.id] = stmt
+            elif isinstance(stmt, ast.AnnAssign) and value_is_mutable(stmt.value):
+                if isinstance(stmt.target, ast.Name):
+                    mutables[stmt.target.id] = stmt
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                visit(stmt.body)
+                visit(getattr(stmt, "orelse", []))
+
+    visit(module.tree.body)
+    return mutables
+
+
+def _own_statement_nodes(info: FunctionInfo) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(info.node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mutations_of(
+    info: FunctionInfo, names: set[str]
+) -> Iterator[tuple[str, ast.AST, str]]:
+    """(name, node, how) for each mutation of ``names`` inside ``info``."""
+    declared_global: set[str] = set()
+    for node in _own_statement_nodes(info):
+        if isinstance(node, ast.Global):
+            declared_global.update(set(node.names) & names)
+    for node in _own_statement_nodes(info):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                isinstance(node.func.value, ast.Name)
+                and node.func.value.id in names
+                and node.func.attr in _MUTATORS
+            ):
+                yield node.func.value.id, node, f".{node.func.attr}(...)"
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield target.value.id, node, "subscript assignment"
+                elif (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    yield target.id, node, "global rebind"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield target.value.id, node, "subscript delete"
+
+
+def _referenced_outside(
+    graph: ProjectGraph,
+    modname: str,
+    name: str,
+    reachable: set[str],
+    defining: ast.stmt,
+) -> bool:
+    """Is ``name`` referenced by code of ``modname`` outside the pool-reachable
+    set (i.e. by the parent process)?"""
+    for info in graph.functions.values():
+        if info.module is not graph.modules[modname]:
+            continue
+        if info.qualname in reachable:
+            continue
+        for node in _own_statement_nodes(info):
+            if isinstance(node, ast.Name) and node.id == name:
+                if info.name == "<module>":
+                    # Skip the defining statement itself and other
+                    # top-level (re)bindings; only *reads* at module
+                    # level count as parent-side use.
+                    if not isinstance(node.ctx, ast.Load):
+                        continue
+                    if node.lineno >= getattr(defining, "lineno", 0) and (
+                        node.lineno <= getattr(defining, "end_lineno", 0)
+                    ):
+                        continue
+                return True
+    return False
+
+
+@register
+class SharedMutableStateRule(Rule):
+    id = "EXEC102"
+    title = "no module state shared between pool workers and the parent"
+    rationale = (
+        "a module-level dict/list mutated inside a pool worker is a copy; "
+        "the parent never sees the writes, so serial and pool runs of the "
+        "same seed diverge"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        graph = ProjectGraph.for_modules(modules)
+        entries = _pool_entries(graph)
+        if not entries:
+            return
+        chains = graph.reachable(
+            entries, skip=lambda m: m.pkgpath.startswith(_OBS_PREFIX)
+        )
+        reachable = set(chains)
+        mutables_by_mod = {
+            modname: _module_mutables(module)
+            for modname, module in graph.modules.items()
+            if not module.pkgpath.startswith(_OBS_PREFIX)
+        }
+        seen: set[int] = set()
+        for qualname in sorted(reachable):
+            info = graph.functions[qualname]
+            modname = _module_of(graph, info)
+            mutables = mutables_by_mod.get(modname)
+            if not mutables:
+                continue
+            for name, node, how in _mutations_of(info, set(mutables)):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if not _referenced_outside(
+                    graph, modname, name, reachable, mutables[name]
+                ):
+                    continue
+                yield info.module.finding(
+                    node,
+                    self.id,
+                    f"module-level mutable `{name}` mutated ({how}) in "
+                    f"`{qualname}`, reachable from pool entry via "
+                    f"{render_chain(chains[qualname])}, and read by "
+                    "parent-process code; worker writes are lost on join "
+                    "and serial/pool runs diverge",
+                )

@@ -12,6 +12,10 @@ orchestrator — through three primitives:
 * :func:`get_logger` / :func:`console` — the library's only logging and
   stdout paths (enforced by lint rule ``OBS001``).
 
+Every event, metric, and span name is declared in :mod:`repro.obs.schema`
+— the registry lint rules ``OBS101``–``OBS103`` hold emitters and
+consumers to.
+
 Observation is **off by default** and every hook compiles down to one
 module-global ``is None`` check when off (same philosophy as
 :mod:`repro.contracts`; the disabled-mode cost is gated below 5% by
@@ -39,6 +43,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from ..errors import ObservabilityError
+from . import schema
 from .logs import LOGGER_NAME, configure_logging, console, get_logger, log
 from .metrics import (
     DEFAULT_BUCKET_BOUNDS,
@@ -135,6 +140,7 @@ __all__ = [
     "render_run_comparison",
     "render_run_report",
     "resolve_run",
+    "schema",
     "span",
     "span_self_times",
     "start",

@@ -31,11 +31,16 @@ from typing import TYPE_CHECKING
 
 from ..errors import ObservabilityError
 
+#: Event names the simulator emits that a timeline overlays. Declared in
+#: the trace-schema registry; re-exported here for consumers.
+from .schema import FAULT_EVENT_NAMES
+
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..sim.results import AppRunResult
 
 __all__ = [
     "ChunkInterval",
+    "FAULT_EVENT_NAMES",
     "TimelineEvent",
     "WorkerTimeline",
     "TimelineStats",
@@ -45,11 +50,6 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
 ]
-
-#: Event names the simulator emits that a timeline overlays.
-FAULT_EVENT_NAMES = frozenset(
-    {"sim.crash", "sim.requeue", "sim.failover", "sim.degraded"}
-)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,204 @@
+"""Fixture tests for the determinism-reachability rule (RNG101)."""
+
+from __future__ import annotations
+
+from repro._lint import lint_sources
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestSinks:
+    def test_stdlib_random_two_hops_from_sim_entry(self):
+        findings = lint_sources(
+            {
+                "sim/helpers.py": (
+                    "import random\n"
+                    "def simulate_one(case):\n"
+                    "    return _jitter(case)\n"
+                    "def _jitter(case):\n"
+                    "    return case + random.random()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert rule_ids(findings) == ["RNG101"]
+        message = findings[0].message
+        assert "random.random" in message
+        assert "sim.helpers.simulate_one -> sim.helpers._jitter" in message
+        assert "SeedTree" in message
+
+    def test_wall_clock_in_sim_entry(self):
+        findings = lint_sources(
+            {
+                "sim/clock.py": (
+                    "import time\n"
+                    "def run_case(case):\n"
+                    "    return time.perf_counter()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert rule_ids(findings) == ["RNG101"]
+        assert "time.perf_counter" in findings[0].message
+
+    def test_datetime_now_via_from_import(self):
+        findings = lint_sources(
+            {
+                "ra/sched.py": (
+                    "from datetime import datetime\n"
+                    "def pick_start():\n"
+                    "    return datetime.now()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert rule_ids(findings) == ["RNG101"]
+        assert "datetime.datetime.now" in findings[0].message
+
+    def test_os_urandom_and_uuid4(self):
+        findings = lint_sources(
+            {
+                "ra/tokens.py": (
+                    "import os\n"
+                    "import uuid\n"
+                    "def tag_result(r):\n"
+                    "    return (os.urandom(4), uuid.uuid4(), r)\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert sorted(rule_ids(findings)) == ["RNG101", "RNG101"]
+
+
+class TestEntryPoints:
+    def test_task_run_method_is_an_entry(self):
+        findings = lint_sources(
+            {
+                "exec/tasks.py": (
+                    "import uuid\n"
+                    "class ReplicateTask:\n"
+                    "    def run(self):\n"
+                    "        return uuid.uuid4()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert rule_ids(findings) == ["RNG101"]
+
+    def test_private_sim_function_is_not_an_entry(self):
+        # Unreachable private helpers are dead code until something public
+        # calls them — and then the chain from that entry gets flagged.
+        findings = lint_sources(
+            {
+                "sim/dead.py": (
+                    "import random\n"
+                    "def _unused():\n"
+                    "    return random.random()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert findings == []
+
+
+class TestExemptions:
+    def test_sink_inside_rng_module_is_exempt(self):
+        # repro.rng is the sanctioned wrapper — the sink lives there by
+        # design, so chains ending inside it are fine.
+        findings = lint_sources(
+            {
+                "sim/a.py": (
+                    "from ..rng import draw\n"
+                    "def simulate(case):\n"
+                    "    return draw(case)\n"
+                ),
+                "rng.py": (
+                    "import random\n"
+                    "def draw(case):\n"
+                    "    return random.random()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert findings == []
+
+    def test_sink_inside_exec_seeds_is_exempt(self):
+        findings = lint_sources(
+            {
+                "ra/search.py": (
+                    "from ..exec.seeds import fresh_entropy\n"
+                    "def evaluate(x):\n"
+                    "    return fresh_entropy(x)\n"
+                ),
+                "exec/seeds.py": (
+                    "import os\n"
+                    "def fresh_entropy(x):\n"
+                    "    return os.urandom(8)\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert findings == []
+
+    def test_same_sink_outside_exempt_modules_fires(self):
+        findings = lint_sources(
+            {
+                "ra/search.py": (
+                    "from .entropy import _fresh_entropy\n"
+                    "def evaluate(x):\n"
+                    "    return _fresh_entropy(x)\n"
+                ),
+                "ra/entropy.py": (
+                    "import os\n"
+                    "def _fresh_entropy(x):\n"
+                    "    return os.urandom(8)\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert rule_ids(findings) == ["RNG101"]
+        assert (
+            "ra.search.evaluate -> ra.entropy._fresh_entropy"
+            in findings[0].message
+        )
+
+    def test_obs_package_is_not_traversed(self):
+        # Observation legitimately reads wall clocks; the rule must not
+        # walk into repro.obs from an instrumented entry point.
+        findings = lint_sources(
+            {
+                "sim/a.py": (
+                    "from ..obs.spans import stamp\n"
+                    "def simulate(case):\n"
+                    "    stamp()\n"
+                    "    return case\n"
+                ),
+                "obs/spans.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert findings == []
+
+    def test_each_sink_reported_once_across_entries(self):
+        # Two public entries reach the same sink call; one finding.
+        findings = lint_sources(
+            {
+                "sim/shared.py": (
+                    "import random\n"
+                    "def alpha():\n"
+                    "    return _core()\n"
+                    "def beta():\n"
+                    "    return _core()\n"
+                    "def _core():\n"
+                    "    return random.random()\n"
+                ),
+            },
+            select=["RNG101"],
+        )
+        assert rule_ids(findings) == ["RNG101"]

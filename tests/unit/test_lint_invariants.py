@@ -7,6 +7,7 @@ real ``src`` tree asserting zero findings.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -653,7 +654,197 @@ class TestFramework:
             "OBS001",
             "OBS002",
             "EXEC001",
+            "EXEC101",
+            "EXEC102",
+            "RNG101",
+            "OBS101",
+            "OBS102",
+            "OBS103",
+            "LNT001",
         } <= known_ids()
+
+    def test_findings_carry_pkgpath(self):
+        findings = lint_sources(
+            {"sim/foo.py": "def f(t):\n    return t == 1.0\n"},
+            select=["FLT001"],
+        )
+        assert findings[0].pkgpath == "sim/foo.py"
+
+
+# ------------------------------------------------------- suppression hygiene
+
+
+class TestUnusedSkips:
+    def test_stale_suppression_reported(self):
+        findings = lint_sources(
+            {"sim/foo.py": "x = 1  # lint: skip=FLT001\n"},
+            select=["FLT001", "LNT001"],
+            report_unused_skips=True,
+        )
+        assert rule_ids(findings) == ["LNT001"]
+        assert "unused suppression" in findings[0].message
+        assert "FLT001" in findings[0].message
+
+    def test_live_suppression_not_reported(self):
+        findings = lint_sources(
+            {
+                "sim/foo.py": (
+                    "def f(t):\n"
+                    "    return t == 1.0  # lint: skip=FLT001\n"
+                )
+            },
+            select=["FLT001", "LNT001"],
+            report_unused_skips=True,
+        )
+        assert findings == []
+
+    def test_unknown_rule_id_in_suppression(self):
+        findings = lint_sources(
+            {"sim/foo.py": "x = 1  # lint: skip=NOPE999\n"},
+            select=["FLT001", "LNT001"],
+            report_unused_skips=True,
+        )
+        assert rule_ids(findings) == ["LNT001"]
+        assert "unknown rule id" in findings[0].message
+
+    def test_audit_off_by_default(self):
+        findings = lint_sources(
+            {"sim/foo.py": "x = 1  # lint: skip=FLT001\n"},
+            select=["FLT001"],
+        )
+        assert findings == []
+
+    def test_per_id_audit_respects_select(self):
+        # Selecting only RNG001 must not call an FLT001 suppression stale
+        # — the rule that could have used it never ran.
+        findings = lint_sources(
+            {"sim/foo.py": "x = 1  # lint: skip=FLT001\n"},
+            select=["RNG001", "LNT001"],
+            report_unused_skips=True,
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------ CLI interface
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "lint_invariants.py"),
+            *args,
+        ],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(t):\n    return t == 1.0\n")
+    return bad
+
+
+class TestCliFormats:
+    def test_json_report(self, bad_file):
+        run = run_cli(
+            "--select", "FLT001", "--format", "json", str(bad_file)
+        )
+        assert run.returncode == 1
+        report = json.loads(run.stdout)
+        assert report["version"] == 1
+        (finding,) = report["findings"]
+        assert finding["rule"] == "FLT001"
+        assert finding["pkgpath"] == "sim/bad.py"
+        assert finding["line"] == 2
+
+    def test_sarif_report(self, bad_file, tmp_path):
+        out = tmp_path / "lint.sarif"
+        run = run_cli(
+            "--select", "FLT001",
+            "--format", "sarif",
+            "--output", str(out),
+            str(bad_file),
+        )
+        assert run.returncode == 1
+        sarif = json.loads(out.read_text())
+        assert sarif["version"] == "2.1.0"
+        (sarif_run,) = sarif["runs"]
+        rule_meta_ids = {
+            rule["id"] for rule in sarif_run["tool"]["driver"]["rules"]
+        }
+        assert {"FLT001", "EXEC101", "RNG101", "OBS101"} <= rule_meta_ids
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "FLT001"
+        assert result["level"] == "error"
+        assert result["partialFingerprints"]["reproLintFinding/v1"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+
+    def test_list_rules_json(self):
+        run = run_cli("--list-rules", "--format", "json")
+        assert run.returncode == 0
+        rules = json.loads(run.stdout)
+        ids = [rule["id"] for rule in rules]
+        assert ids == sorted(ids)
+        assert {"EXEC101", "EXEC102", "RNG101", "OBS101", "OBS102", "OBS103",
+                "LNT001"} <= set(ids)
+        assert all(rule["title"] and rule["rationale"] for rule in rules)
+
+    def test_unknown_select_exits_2(self):
+        run = run_cli("--select", "NOPE999", "src")
+        assert run.returncode == 2
+        assert "known ids" in run.stderr
+
+    def test_baseline_roundtrip(self, bad_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write = run_cli(
+            "--select", "FLT001",
+            "--baseline", str(baseline),
+            "--write-baseline",
+            str(bad_file),
+        )
+        assert write.returncode == 0, write.stderr
+        payload = json.loads(baseline.read_text())
+        assert payload["findings"][0]["rule"] == "FLT001"
+        # Baselined: the same finding no longer fails the run.
+        rerun = run_cli(
+            "--select", "FLT001", "--baseline", str(baseline), str(bad_file)
+        )
+        assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+        # And without the baseline it still does.
+        bare = run_cli("--select", "FLT001", str(bad_file))
+        assert bare.returncode == 1
+
+    def test_write_baseline_requires_baseline_path(self, bad_file):
+        run = run_cli("--write-baseline", str(bad_file))
+        assert run.returncode == 2
+        assert "--baseline" in run.stderr
+
+    def test_report_unused_skips_flag(self, tmp_path):
+        stale = tmp_path / "repro" / "sim" / "stale.py"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("x = 1  # lint: skip=FLT001\n")
+        run = run_cli("--report-unused-skips", str(stale))
+        assert run.returncode == 1
+        assert "LNT001" in run.stdout
+
+    def test_changed_only_filters_unchanged_files(self, bad_file):
+        # bad_file lives outside the repo, so it is never in the diff;
+        # its finding is filtered out and the run passes.
+        run = run_cli(
+            "--changed-only", "--changed-base", "HEAD", str(bad_file)
+        )
+        assert run.returncode == 0, run.stdout + run.stderr
+
+    def test_changed_only_outside_git_exits_2(self, bad_file, tmp_path):
+        run = run_cli("--changed-only", str(bad_file), cwd=tmp_path)
+        assert run.returncode == 2
+        assert "git" in run.stderr
 
 
 # ----------------------------------------------------------- acceptance gate

@@ -1,0 +1,249 @@
+"""Fixture tests for the pool-boundary safety rules (EXEC101/EXEC102)."""
+
+from __future__ import annotations
+
+from repro._lint import lint_sources
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+TASKS = (
+    "class ReplicateTask:\n"
+    "    def __init__(self, fn, seed=0):\n"
+    "        self.fn = fn\n"
+    "        self.seed = seed\n"
+)
+
+
+class TestPoolPayload:
+    def test_lambda_into_task_constructor(self):
+        findings = lint_sources(
+            {
+                "exec/tasks.py": TASKS,
+                "exec/api.py": (
+                    "from .tasks import ReplicateTask\n"
+                    "def go():\n"
+                    "    return ReplicateTask(lambda: 1)\n"
+                ),
+            },
+            select=["EXEC101"],
+        )
+        assert rule_ids(findings) == ["EXEC101"]
+        assert "lambda" in findings[0].message
+        assert "ReplicateTask" in findings[0].message
+
+    def test_lambda_into_submit(self):
+        findings = lint_sources(
+            {"exec/api.py": "def go(pool):\n    pool.submit(lambda: 1)\n"},
+            select=["EXEC101"],
+        )
+        assert rule_ids(findings) == ["EXEC101"]
+        assert "pool.submit" in findings[0].message
+
+    def test_bare_generator_expression_flagged(self):
+        findings = lint_sources(
+            {
+                "exec/tasks.py": TASKS,
+                "exec/api.py": (
+                    "from .tasks import ReplicateTask\n"
+                    "def go(f, xs):\n"
+                    "    return ReplicateTask(f, seed=(x for x in xs))\n"
+                ),
+            },
+            select=["EXEC101"],
+        )
+        assert rule_ids(findings) == ["EXEC101"]
+        assert "generator expression" in findings[0].message
+
+    def test_materialized_generator_is_clean(self):
+        # tuple(...) consumes the generator before the boundary — this is
+        # the evaluate_allocations batching idiom in repro.exec.stage1.
+        findings = lint_sources(
+            {
+                "exec/tasks.py": TASKS,
+                "exec/api.py": (
+                    "from .tasks import ReplicateTask\n"
+                    "def go(f, xs):\n"
+                    "    return ReplicateTask(f, seed=tuple(x for x in xs))\n"
+                ),
+            },
+            select=["EXEC101"],
+        )
+        assert findings == []
+
+    def test_closure_passed_to_submit(self):
+        findings = lint_sources(
+            {
+                "exec/api.py": (
+                    "def go(pool, bound):\n"
+                    "    def work():\n"
+                    "        return bound + 1\n"
+                    "    pool.submit(work)\n"
+                ),
+            },
+            select=["EXEC101"],
+        )
+        assert rule_ids(findings) == ["EXEC101"]
+        assert "closure" in findings[0].message
+
+    def test_module_level_callable_is_clean(self):
+        findings = lint_sources(
+            {
+                "exec/api.py": (
+                    "def work(x):\n"
+                    "    return x + 1\n"
+                    "def go(pool):\n"
+                    "    pool.submit(work, 3)\n"
+                ),
+            },
+            select=["EXEC101"],
+        )
+        assert findings == []
+
+    def test_open_handle_and_lock(self):
+        findings = lint_sources(
+            {
+                "exec/tasks.py": TASKS,
+                "exec/api.py": (
+                    "import threading\n"
+                    "from .tasks import ReplicateTask\n"
+                    "def go(pool, path):\n"
+                    "    pool.submit(print, open(path))\n"
+                    "    return ReplicateTask(print, seed=threading.Lock())\n"
+                ),
+            },
+            select=["EXEC101"],
+        )
+        assert rule_ids(findings) == ["EXEC101", "EXEC101"]
+        messages = " / ".join(finding.message for finding in findings)
+        assert "open file handle" in messages
+        assert "threading.Lock" in messages
+
+
+class TestSharedMutableState:
+    def test_task_run_mutation_read_by_parent(self):
+        findings = lint_sources(
+            {
+                "exec/backends.py": (
+                    "_CACHE = {}\n"
+                    "class EvalTask:\n"
+                    "    def run(self):\n"
+                    "        _CACHE['k'] = 1\n"
+                    "def read_cache():\n"
+                    "    return _CACHE\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert rule_ids(findings) == ["EXEC102"]
+        assert "_CACHE" in findings[0].message
+        assert "subscript assignment" in findings[0].message
+
+    def test_worker_only_state_is_clean(self):
+        # No parent-side reader: the mutation stays worker-local on purpose.
+        findings = lint_sources(
+            {
+                "exec/backends.py": (
+                    "_CACHE = {}\n"
+                    "class EvalTask:\n"
+                    "    def run(self):\n"
+                    "        _CACHE['k'] = 1\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert findings == []
+
+    def test_obs_package_is_exempt(self):
+        findings = lint_sources(
+            {
+                "exec/backends.py": (
+                    "from ..obs.session import merge\n"
+                    "class EvalTask:\n"
+                    "    def run(self):\n"
+                    "        merge(1)\n"
+                ),
+                "obs/session.py": (
+                    "_PENDING = []\n"
+                    "def merge(x):\n"
+                    "    _PENDING.append(x)\n"
+                    "def drain():\n"
+                    "    return list(_PENDING)\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert findings == []
+
+    def test_submit_target_is_a_pool_entry(self):
+        findings = lint_sources(
+            {
+                "exec/pool.py": (
+                    "_STATE = []\n"
+                    "def _worker(x):\n"
+                    "    _STATE.append(x)\n"
+                    "def launch(executor, xs):\n"
+                    "    for x in xs:\n"
+                    "        executor.submit(_worker, x)\n"
+                    "    return _STATE\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert rule_ids(findings) == ["EXEC102"]
+        assert ".append(...)" in findings[0].message
+
+    def test_initializer_target_is_a_pool_entry(self):
+        findings = lint_sources(
+            {
+                "exec/pool.py": (
+                    "_REG = {}\n"
+                    "def _init():\n"
+                    "    _REG.update({'a': 1})\n"
+                    "def make(pool_cls):\n"
+                    "    return pool_cls(initializer=_init)\n"
+                    "def lookup(k):\n"
+                    "    return _REG[k]\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert rule_ids(findings) == ["EXEC102"]
+
+    def test_finding_message_renders_call_chain(self):
+        findings = lint_sources(
+            {
+                "exec/deep.py": (
+                    "_SEEN = set()\n"
+                    "class SweepTask:\n"
+                    "    def run(self):\n"
+                    "        record(3)\n"
+                    "def record(x):\n"
+                    "    _SEEN.add(x)\n"
+                    "def summary():\n"
+                    "    return sorted(_SEEN)\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert rule_ids(findings) == ["EXEC102"]
+        assert "exec.deep.SweepTask.run -> exec.deep.record" in findings[0].message
+
+    def test_no_pool_entries_means_no_findings(self):
+        # Without a *Task.run / submit / initializer entry point there is
+        # no worker side, so mutations are ordinary module state.
+        findings = lint_sources(
+            {
+                "sim/cache.py": (
+                    "_MEMO = {}\n"
+                    "def put(k, v):\n"
+                    "    _MEMO[k] = v\n"
+                    "def get_value(k):\n"
+                    "    return _MEMO[k]\n"
+                ),
+            },
+            select=["EXEC102"],
+        )
+        assert findings == []
