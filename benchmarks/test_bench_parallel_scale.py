@@ -21,12 +21,12 @@ Results are archived as ``benchmarks/results/parallel_scale.json``.
 from __future__ import annotations
 
 import json
-import os
 import time
 
 from repro.apps import Application, normal_exectime_model
 from repro.dls import make_technique
 from repro.exec import ProcessPoolBackend, SerialBackend
+from repro.obs import env_fingerprint
 from repro.paper import data, paper_batch, paper_system
 from repro.pmf import percent_availability
 from repro.ra import GeneticAllocator, StageIEvaluator
@@ -99,13 +99,17 @@ def test_bench_parallel_scale(results_dir, benchmark):
     lookups = info["prob_hits"] + info["prob_misses"]
     hit_rate = info["prob_hits"] / lookups
 
-    cpus = os.cpu_count() or 1
+    # cpu_available (scheduler affinity) is what actually bounds a pool
+    # speedup inside a container pinned to fewer cores than the host has;
+    # the old os.cpu_count()-only field conflated it with cpu_logical.
+    env = env_fingerprint(workers=WORKERS)
+    cpus = int(env["cpu_available"])  # type: ignore[call-overload]
     result = {
         "workload": (
             f"replicate_application(FAC, 8192 iterations, 8 workers, "
             f"{REPLICATIONS} replications)"
         ),
-        "cpu_count": cpus,
+        "env": env,
         "workers": WORKERS,
         "serial_wall_s": serial_wall,
         "pool_wall_s": pool_wall,
@@ -123,7 +127,8 @@ def test_bench_parallel_scale(results_dir, benchmark):
     print()
     print(
         f"parallel scale: serial {serial_wall:.2f}s, pool({WORKERS}) "
-        f"{pool_wall:.2f}s -> {speedup:.2f}x on {cpus} CPUs; "
+        f"{pool_wall:.2f}s -> {speedup:.2f}x on {cpus} available CPUs "
+        f"({env['cpu_logical']} logical, {env['cpu_physical']} physical); "
         f"stage-I cache hit rate {100 * hit_rate:.1f}% "
         f"({info['prob_hits']}/{lookups})"
     )

@@ -1,0 +1,70 @@
+"""repro.bench — the continuous benchmark harness and regression gate.
+
+The performance counterpart of :mod:`repro.obs`: where observability
+answers *"where did this run spend its time?"*, this package answers
+*"is the library getting slower?"* — the question every kernel rewrite
+on the roadmap must keep answering.
+
+Three layers:
+
+* :mod:`repro.bench.registry` — ``@bench``-decorated zero-argument
+  workloads measured best-of-N through the :mod:`repro.obs` clock
+  (:mod:`repro.bench.workloads` holds the registered set);
+* :mod:`repro.bench.store` — environment-fingerprinted records appended
+  to ``benchmarks/results/bench_history.jsonl``;
+* :mod:`repro.bench.compare` — latest-vs-previous verdicts with
+  per-benchmark tolerances; ``has_regressions`` drives the CI gate.
+
+The CLI front end is ``repro bench run|list|compare``; see
+``docs/profiling.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+from .compare import (
+    BenchComparison,
+    BenchDelta,
+    compare_history,
+    render_comparison,
+)
+from .registry import (
+    BENCHMARKS,
+    DEFAULT_ROUNDS,
+    DEFAULT_TOLERANCE,
+    BenchSpec,
+    all_benchmarks,
+    bench,
+    get_benchmark,
+    run_benchmark,
+)
+from .store import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_HISTORY_PATH,
+    BenchRecord,
+    append_records,
+    history_by_name,
+    load_history,
+    record_measurement,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "DEFAULT_ROUNDS",
+    "DEFAULT_TOLERANCE",
+    "BenchComparison",
+    "BenchDelta",
+    "BenchRecord",
+    "BenchSpec",
+    "all_benchmarks",
+    "append_records",
+    "bench",
+    "compare_history",
+    "get_benchmark",
+    "history_by_name",
+    "load_history",
+    "record_measurement",
+    "render_comparison",
+    "run_benchmark",
+]

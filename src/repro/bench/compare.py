@@ -1,0 +1,158 @@
+"""Regression judgment over the benchmark history.
+
+``repro bench compare`` reduces each benchmark's history to a verdict:
+the **current** measurement (the latest record) against its **baseline**
+(the latest *earlier* record), flagged as a regression when
+
+    ``current.best_s > baseline.best_s * (1 + tolerance)``
+
+with the tolerance carried by the current record (so a registry change
+takes effect on the next run, not retroactively). Symmetrically, a run
+faster than ``baseline * (1 - tolerance)`` is reported as an
+improvement — worth a look too, since "10x faster" usually means "the
+workload stopped doing the work".
+
+Comparisons across different environments (another git sha is fine —
+that is the point — but a different machine or CPU budget is not) are
+annotated with the fingerprint fields that changed, so a CI runner swap
+is distinguishable from a real regression.
+
+:class:`BenchComparison.has_regressions` is the CI gate: the CLI maps it
+to a nonzero exit code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from .store import BenchRecord, history_by_name
+
+__all__ = [
+    "BenchComparison",
+    "BenchDelta",
+    "compare_history",
+    "render_comparison",
+]
+
+#: Fingerprint fields whose change makes two measurements incomparable
+#: in principle (a different machine, interpreter, or CPU budget). The
+#: git sha is deliberately absent: comparing across commits is the job.
+_ENV_STABILITY_FIELDS = (
+    "python",
+    "implementation",
+    "platform",
+    "machine",
+    "cpu_logical",
+    "cpu_physical",
+    "cpu_available",
+)
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """The verdict for one benchmark."""
+
+    name: str
+    status: str  # "ok" | "regression" | "improved" | "new"
+    current: BenchRecord
+    baseline: BenchRecord | None = None
+    env_changed: tuple[str, ...] = ()
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline best time, or None without a baseline."""
+        if self.baseline is None or self.baseline.best_s <= 0:
+            return None
+        return self.current.best_s / self.baseline.best_s
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Every benchmark's verdict over one history."""
+
+    deltas: tuple[BenchDelta, ...]
+
+    @property
+    def has_regressions(self) -> bool:
+        return any(d.status == "regression" for d in self.deltas)
+
+    def by_status(self, status: str) -> tuple[BenchDelta, ...]:
+        return tuple(d for d in self.deltas if d.status == status)
+
+
+def _env_changes(
+    baseline: Mapping[str, object], current: Mapping[str, object]
+) -> tuple[str, ...]:
+    return tuple(
+        f
+        for f in _ENV_STABILITY_FIELDS
+        if baseline.get(f) != current.get(f)
+    )
+
+
+def _judge(history: Sequence[BenchRecord]) -> BenchDelta:
+    current = history[-1]
+    if len(history) < 2:
+        return BenchDelta(name=current.name, status="new", current=current)
+    baseline = history[-2]
+    status = "ok"
+    if current.best_s > baseline.best_s * (1.0 + current.tolerance):
+        status = "regression"
+    elif current.best_s < baseline.best_s * (1.0 - current.tolerance):
+        status = "improved"
+    return BenchDelta(
+        name=current.name,
+        status=status,
+        current=current,
+        baseline=baseline,
+        env_changed=_env_changes(baseline.env, current.env),
+    )
+
+
+def compare_history(records: Sequence[BenchRecord]) -> BenchComparison:
+    """Judge every benchmark present in ``records`` (latest vs previous)."""
+    by_name = history_by_name(records)
+    return BenchComparison(
+        deltas=tuple(_judge(by_name[name]) for name in sorted(by_name))
+    )
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """The comparison as an aligned text table plus a one-line verdict."""
+    from ..reporting import render_table
+
+    rows = []
+    for d in comparison.deltas:
+        ratio = d.ratio
+        note = d.status + (
+            " (env changed: " + ", ".join(d.env_changed) + ")"
+            if d.env_changed
+            else ""
+        )
+        rows.append(
+            (
+                d.name,
+                d.baseline.best_s if d.baseline is not None else "-",
+                d.current.best_s,
+                f"{ratio:.2f}x" if ratio is not None else "-",
+                f"{d.current.tolerance:.0%}",
+                note,
+            )
+        )
+    table = render_table(
+        ["benchmark", "baseline s", "current s", "ratio", "tol", "status"],
+        rows,
+        floatfmt=".4f",
+    )
+    regressions = comparison.by_status("regression")
+    if regressions:
+        verdict = (
+            f"REGRESSION: {len(regressions)} benchmark(s) slower than "
+            "tolerance: " + ", ".join(d.name for d in regressions)
+        )
+    else:
+        verdict = (
+            f"ok: {len(comparison.deltas)} benchmark(s) within tolerance"
+        )
+    return table + "\n" + verdict

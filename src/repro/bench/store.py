@@ -1,0 +1,152 @@
+"""The append-only benchmark history store.
+
+Every ``repro bench run`` appends one JSON line per measured benchmark to
+``benchmarks/results/bench_history.jsonl`` (or the path given with
+``--history``). Records are immutable and environment-fingerprinted
+(:func:`repro.obs.env.env_fingerprint`: git sha, interpreter, platform,
+the three CPU counts), so the history answers *"did this commit make
+this benchmark slower on comparable hardware?"* — the question the
+one-shot ``benchmarks/results/*.json`` snapshots cannot.
+
+The store is line-oriented JSON on purpose: appends are atomic-enough
+under CI's single writer, merges are trivial (concatenate), and a
+corrupt line loses one record, not the history —
+:func:`load_history` skips malformed lines rather than failing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import BenchError
+from ..obs import env_fingerprint, utc_stamp
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "BenchRecord",
+    "append_records",
+    "history_by_name",
+    "load_history",
+    "record_measurement",
+]
+
+#: Bumped when the record layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Where ``repro bench run`` appends by default, relative to the repo root.
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "results" / "bench_history.jsonl"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One persisted measurement of one benchmark."""
+
+    name: str
+    best_s: float
+    mean_s: float
+    rounds: int
+    tolerance: float
+    recorded: str = ""
+    env: Mapping[str, object] = field(default_factory=dict)
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "rounds": self.rounds,
+            "tolerance": self.tolerance,
+            "recorded": self.recorded,
+            "env": dict(self.env),
+        }
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping[str, object]) -> "BenchRecord":
+        try:
+            env = payload.get("env", {})
+            return cls(
+                name=str(payload["name"]),
+                best_s=float(payload["best_s"]),  # type: ignore[arg-type]
+                mean_s=float(payload["mean_s"]),  # type: ignore[arg-type]
+                rounds=int(payload["rounds"]),  # type: ignore[call-overload]
+                tolerance=float(payload["tolerance"]),  # type: ignore[arg-type]
+                recorded=str(payload.get("recorded", "")),
+                env=dict(env) if isinstance(env, Mapping) else {},
+                schema=int(payload.get("schema", BENCH_SCHEMA_VERSION)),  # type: ignore[call-overload]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"malformed bench record: {exc}") from exc
+
+
+def record_measurement(
+    measurement: Mapping[str, object],
+    *,
+    workers: int | str | None = None,
+) -> BenchRecord:
+    """Wrap one :func:`~repro.bench.registry.run_benchmark` measurement
+    with the recording timestamp and the environment fingerprint."""
+    return BenchRecord(
+        name=str(measurement["name"]),
+        best_s=float(measurement["best_s"]),  # type: ignore[arg-type]
+        mean_s=float(measurement["mean_s"]),  # type: ignore[arg-type]
+        rounds=int(measurement["rounds"]),  # type: ignore[call-overload]
+        tolerance=float(measurement["tolerance"]),  # type: ignore[arg-type]
+        recorded=utc_stamp(),
+        env=env_fingerprint(workers=workers),
+    )
+
+
+def append_records(
+    path: str | Path, records: Iterable[BenchRecord]
+) -> Path:
+    """Append records as JSON lines; creates the file and parents."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+    return target
+
+
+def load_history(path: str | Path) -> list[BenchRecord]:
+    """Every parseable record in file order (append order = time order).
+
+    Blank and malformed lines are skipped: an interrupted append must
+    not take the whole history with it.
+    """
+    target = Path(path)
+    if not target.is_file():
+        return []
+    records: list[BenchRecord] = []
+    with target.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(payload, Mapping):
+                continue
+            try:
+                records.append(BenchRecord.from_mapping(payload))
+            except BenchError:
+                continue
+    return records
+
+
+def history_by_name(
+    records: Sequence[BenchRecord],
+) -> dict[str, list[BenchRecord]]:
+    """Records grouped per benchmark, preserving append order."""
+    by_name: dict[str, list[BenchRecord]] = {}
+    for record in records:
+        by_name.setdefault(record.name, []).append(record)
+    return by_name

@@ -20,9 +20,15 @@ Observability (the flags come *before* the subcommand)::
 Run store and analysis (``REPRO_RUN_DIR`` is the flagless equivalent)::
 
     python -m repro --run-dir runs/ scenario 4 --faults   # record artifacts
-    python -m repro --run-dir runs/ runs                  # list past runs
+    python -m repro --run-dir runs/ runs [--format json]  # list past runs
     python -m repro report runs/<id> --chrome-trace t.json
     python -m repro compare runs/<idA> runs/<idB>
+
+Profiling and benchmarks (see ``docs/profiling.md``)::
+
+    python -m repro --profile --run-dir runs/ scenario 4  # profile.json
+    python -m repro bench run                  # measure + append history
+    python -m repro bench compare              # nonzero exit on regression
 
 All deliverable output goes to stdout through :func:`repro.obs.console`;
 diagnostics go to the ``repro`` logger on stderr.
@@ -31,6 +37,7 @@ diagnostics go to the ``repro`` logger on stderr.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections.abc import Sequence
@@ -41,10 +48,13 @@ from .errors import ObservabilityError
 from .exec import ExecutionBackend, get_backend
 from .framework import Scenario, format_observability, run_scenario
 from .obs import (
+    ENV_PROF,
     ENV_RUN_DIR,
     Observation,
+    Profile,
     RunRecorder,
     RunStore,
+    SamplingProfiler,
     configure_logging,
     console,
     current,
@@ -52,12 +62,16 @@ from .obs import (
     metrics_snapshot,
     obs_enabled,
     observed,
+    profile_from_spans,
+    profiling_env_interval,
     recording,
     render_run_comparison,
     render_run_report,
     resolve_run,
+    speedscope_document,
     write_chrome_trace,
 )
+from .obs.prof import DEFAULT_SAMPLING_INTERVAL
 from .paper import (
     data,
     figure_series,
@@ -111,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(manifest, trace, metrics, result tables; default: "
         f"${ENV_RUN_DIR}); past runs feed 'report' and 'compare'",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the run: span self-times plus a sampling profiler, "
+        "exported as speedscope JSON (profile.json inside --run-dir, "
+        f"else repro-profile.json; ${ENV_PROF}=1 or an interval in "
+        "seconds is the flagless equivalent)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print Tables I, IV, V and phi_1")
@@ -150,7 +171,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("path", help="output file, e.g. paper_instance.json")
 
-    sub.add_parser("runs", help="list recorded runs under --run-dir")
+    runs = sub.add_parser("runs", help="list recorded runs under --run-dir")
+    runs.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format (json is line-for-line scriptable)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run/list/compare the registered benchmarks"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="measure benchmarks and append to the history"
+    )
+    bench_run.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="benchmarks to run (default: all registered)",
+    )
+    bench_run.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="timing rounds per benchmark (default: each spec's own)",
+    )
+    bench_run.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="history file to append to (default: "
+        "benchmarks/results/bench_history.jsonl)",
+    )
+    bench_list = bench_sub.add_parser(
+        "list", help="list the registered benchmarks"
+    )
+    bench_list.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
+    bench_cmp = bench_sub.add_parser(
+        "compare",
+        help="judge the latest run of each benchmark against its "
+        "previous run; exits 1 on a regression beyond tolerance",
+    )
+    bench_cmp.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="history file to judge (default: "
+        "benchmarks/results/bench_history.jsonl)",
+    )
+    bench_cmp.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
 
     rep = sub.add_parser(
         "report", help="render a markdown report of one recorded run"
@@ -471,6 +536,99 @@ def _cmd_robustness(args, backend: ExecutionBackend) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import (
+        DEFAULT_HISTORY_PATH,
+        all_benchmarks,
+        append_records,
+        compare_history,
+        get_benchmark,
+        load_history,
+        record_measurement,
+        render_comparison,
+        run_benchmark,
+    )
+    from .errors import BenchError
+
+    if args.bench_command == "list":
+        _emit_rows(
+            [
+                ("name", "benchmark"),
+                ("rounds", "rounds"),
+                ("tolerance", "tolerance"),
+                ("description", "description"),
+            ],
+            [
+                (s.name, s.rounds, s.tolerance, s.description)
+                for s in all_benchmarks()
+            ],
+            fmt=args.format,
+            title="Registered benchmarks",
+        )
+        return 0
+
+    history = Path(args.history) if args.history else DEFAULT_HISTORY_PATH
+    if args.bench_command == "run":
+        try:
+            specs = (
+                [get_benchmark(name) for name in args.names]
+                if args.names
+                else all_benchmarks()
+            )
+        except BenchError as exc:
+            console(f"error: {exc}")
+            return 2
+        records = []
+        for spec in specs:
+            measurement = run_benchmark(spec, rounds=args.rounds)
+            record = record_measurement(measurement, workers=args.workers)
+            records.append(record)
+            console(
+                f"{spec.name}: best {record.best_s:.4f}s, "
+                f"mean {record.mean_s:.4f}s over {record.rounds} round(s)"
+            )
+        path = append_records(history, records)
+        console(f"appended {len(records)} record(s) to {path}")
+        return 0
+
+    # bench compare
+    records = load_history(history)
+    if not records:
+        console(
+            f"no benchmark history at {history}; run 'repro bench run' first"
+        )
+        return 2
+    comparison = compare_history(records)
+    if args.format == "json":
+        _emit_rows(
+            [
+                ("name", "benchmark"),
+                ("status", "status"),
+                ("baseline_s", "baseline s"),
+                ("current_s", "current s"),
+                ("ratio", "ratio"),
+                ("tolerance", "tol"),
+                ("env_changed", "env changed"),
+            ],
+            [
+                (
+                    d.name,
+                    d.status,
+                    d.baseline.best_s if d.baseline is not None else None,
+                    d.current.best_s,
+                    d.ratio,
+                    d.current.tolerance,
+                    list(d.env_changed),
+                )
+                for d in comparison.deltas
+            ],
+            fmt="json",
+        )
+    else:
+        _print(render_comparison(comparison))
+    return 1 if comparison.has_regressions else 0
+
+
 def _dispatch(args, backend: ExecutionBackend) -> int:
     if args.command == "tables":
         return _cmd_tables()
@@ -492,6 +650,8 @@ def _dispatch(args, backend: ExecutionBackend) -> int:
         return 0
     if args.command == "recommend":
         return _cmd_recommend(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "export":
         from .io import save_instance
         from .paper import data, paper_batch, paper_system
@@ -567,30 +727,60 @@ def _write_or_print(text: str, output: str | None, label: str) -> None:
         console(text)
 
 
+def _emit_rows(
+    columns: Sequence[tuple[str, str]],
+    rows: Sequence[Sequence[object]],
+    *,
+    fmt: str = "text",
+    title: str | None = None,
+) -> None:
+    """Shared listing formatter: an aligned table, or a JSON array.
+
+    ``columns`` pairs each JSON key with its table header; the JSON form
+    is an array of objects keyed by the first element, so listings from
+    ``repro runs`` and ``repro bench`` are uniformly scriptable.
+    """
+    if fmt == "json":
+        keys = [key for key, _ in columns]
+        payload = [dict(zip(keys, row)) for row in rows]
+        console(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    _print(
+        render_table(
+            [header for _, header in columns], rows, title=title
+        )
+    )
+
+
 def _cmd_runs(args) -> int:
     base = _run_base(args)
     if base is None:
         console("no run store: pass --run-dir DIR or set $REPRO_RUN_DIR")
         return 2
     records = RunStore(base).list()
-    if not records:
+    if not records and args.format != "json":
         console(f"no recorded runs under {base}")
         return 0
-    _print(
-        render_table(
-            ["run", "command", "started", "wall s", "exit"],
-            [
-                (
-                    r.run_id,
-                    r.manifest.get("command", "?"),
-                    r.manifest.get("started", "?"),
-                    r.manifest.get("wall_seconds", "-"),
-                    r.manifest.get("exit_code", "-"),
-                )
-                for r in records
-            ],
-            title=f"Recorded runs under {base}",
-        )
+    _emit_rows(
+        [
+            ("run_id", "run"),
+            ("command", "command"),
+            ("started", "started"),
+            ("wall_seconds", "wall s"),
+            ("exit_code", "exit"),
+        ],
+        [
+            (
+                r.run_id,
+                r.manifest.get("command", "?"),
+                r.manifest.get("started", "?"),
+                r.manifest.get("wall_seconds", "-"),
+                r.manifest.get("exit_code", "-"),
+            )
+            for r in records
+        ],
+        fmt=args.format,
+        title=f"Recorded runs under {base}",
     )
     return 0
 
@@ -623,9 +813,70 @@ _ANALYSIS_COMMANDS = {
 }
 
 
+def _profiling_interval(args) -> float | None:
+    """The sampling interval, or None when profiling is off.
+
+    ``--profile`` uses the default interval; ``REPRO_PROF`` (truthy flag
+    or a float interval in seconds) is the flagless equivalent and also
+    selects the interval when both are given.
+    """
+    env = profiling_env_interval(os.environ.get(ENV_PROF))
+    if env is not None:
+        return env
+    return DEFAULT_SAMPLING_INTERVAL if args.profile else None
+
+
+def _emit_profile(session: Observation, sampled: Profile | None) -> None:
+    """Bundle the span profile (+ samples) and hand it to the recorder.
+
+    Without an active recorder the document lands in the working
+    directory as ``repro-profile.json`` — profiling must not silently
+    require ``--run-dir``.
+    """
+    profiles = [profile_from_spans(session.tracer.records())]
+    if sampled is not None:
+        profiles.append(sampled)
+    document = speedscope_document(profiles)
+    recorder = current_recorder()
+    if recorder is not None:
+        recorder.record_profile(document)
+        return
+    path = Path("repro-profile.json")
+    path.write_text(
+        json.dumps(document, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    console(
+        f"wrote profile to {path} — load it at https://www.speedscope.app"
+    )
+
+
+def _dispatch_profiled(
+    args, backend: ExecutionBackend, session: Observation,
+    interval: float | None,
+) -> int:
+    """Dispatch, sampling the main thread and exporting the profile."""
+    if interval is None:
+        return _dispatch(args, backend)
+    sampler = SamplingProfiler(interval).start()
+    code = 1
+    try:
+        code = _dispatch(args, backend)
+    finally:
+        # Export even when the command raised: a crashed run's profile
+        # shows where it was stuck.
+        _emit_profile(session, sampler.stop())
+    return code
+
+
 def _run(args, recorder: RunRecorder | None = None) -> int:
     """Dispatch one command, optionally observed and/or recorded."""
-    observe = bool(args.trace or args.metrics or recorder is not None)
+    interval = _profiling_interval(args)
+    observe = bool(
+        args.trace
+        or args.metrics
+        or recorder is not None
+        or interval is not None
+    )
     with get_backend(args.workers) as backend:
         if not observe:
             return _dispatch(args, backend)
@@ -638,14 +889,16 @@ def _run(args, recorder: RunRecorder | None = None) -> int:
                 # two sessions.
                 session = current()
                 assert session is not None
-                code = _dispatch(args, backend)
+                code = _dispatch_profiled(args, backend, session, interval)
                 _finish_observed(args)
                 if args.trace:
                     session.export(args.trace)
                     console(f"wrote trace to {args.trace}")
             else:
                 with observed(trace_path=args.trace) as session:
-                    code = _dispatch(args, backend)
+                    code = _dispatch_profiled(
+                        args, backend, session, interval
+                    )
                     _finish_observed(args)
                 if args.trace:
                     console(f"wrote trace to {args.trace}")

@@ -18,6 +18,7 @@ __all__ = [
     "ObservabilityError",
     "ExecutionError",
     "FaultError",
+    "BenchError",
 ]
 
 
@@ -59,3 +60,7 @@ class ExecutionError(ReproError):
 
 class FaultError(ReproError):
     """An invalid fault plan or fault event (:mod:`repro.faults`)."""
+
+
+class BenchError(ReproError):
+    """The benchmark harness (:mod:`repro.bench`) was misused."""

@@ -44,6 +44,7 @@ from pathlib import Path
 
 from ..errors import ObservabilityError
 from . import schema
+from .env import cpu_counts, env_fingerprint, git_revision, utc_stamp
 from .logs import LOGGER_NAME, configure_logging, console, get_logger, log
 from .metrics import (
     DEFAULT_BUCKET_BOUNDS,
@@ -52,12 +53,20 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .report import (
+from .prof import (
+    ENV_PROF,
+    PROFILE_SCHEMA_URL,
+    Profile,
+    SamplingProfiler,
     SpanAggregate,
-    render_run_comparison,
-    render_run_report,
+    best_of,
+    perf_now,
+    profile_from_spans,
+    profiling_env_interval,
     span_self_times,
+    speedscope_document,
 )
+from .report import render_run_comparison, render_run_report
 from .runs import (
     ENV_RUN_DIR,
     RunRecord,
@@ -94,9 +103,11 @@ from .timeline import (
 
 __all__ = [
     "ENV_FLAG",
+    "ENV_PROF",
     "ENV_RUN_DIR",
     "ENV_TRACE",
     "LOGGER_NAME",
+    "PROFILE_SCHEMA_URL",
     "TRACE_SCHEMA_VERSION",
     "DEFAULT_BUCKET_BOUNDS",
     "AppTimeline",
@@ -110,9 +121,11 @@ __all__ = [
     "NullSpan",
     "NULL_SPAN",
     "Observation",
+    "Profile",
     "RunRecord",
     "RunRecorder",
     "RunStore",
+    "SamplingProfiler",
     "Span",
     "SpanAggregate",
     "SpanHandle",
@@ -120,14 +133,18 @@ __all__ = [
     "TimelineStats",
     "Tracer",
     "WorkerTimeline",
+    "best_of",
     "chrome_trace_events",
     "configure_logging",
     "console",
+    "cpu_counts",
     "current",
     "current_recorder",
+    "env_fingerprint",
     "event",
     "gauge_set",
     "get_logger",
+    "git_revision",
     "incr",
     "load_run",
     "log",
@@ -135,6 +152,9 @@ __all__ = [
     "obs_enabled",
     "observe_value",
     "observed",
+    "perf_now",
+    "profile_from_spans",
+    "profiling_env_interval",
     "read_trace",
     "recording",
     "render_run_comparison",
@@ -143,10 +163,12 @@ __all__ = [
     "schema",
     "span",
     "span_self_times",
+    "speedscope_document",
     "start",
     "stop",
     "timeline_from_result",
     "timelines_from_records",
+    "utc_stamp",
     "write_chrome_trace",
     "write_records",
 ]

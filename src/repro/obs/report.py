@@ -18,8 +18,8 @@ module-level import here would cycle).
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass
 
+from .prof import SpanAggregate, span_self_times
 from .runs import RunRecord
 from .timeline import AppTimeline, timelines_from_records
 
@@ -29,67 +29,6 @@ __all__ = [
     "render_run_report",
     "render_run_comparison",
 ]
-
-
-@dataclass(frozen=True)
-class SpanAggregate:
-    """All spans of one name folded together (profile-style)."""
-
-    name: str
-    count: int
-    total: float  # wall-clock seconds, summed over instances
-    self_time: float  # total minus time attributed to direct children
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-
-def span_self_times(
-    records: Sequence[Mapping[str, object]],
-) -> list[SpanAggregate]:
-    """Aggregate span records by name, most self-time first.
-
-    Self-time of a span is its duration minus the summed durations of
-    its *direct* children — the classic profile decomposition, so the
-    self-time column sums (approximately) to the root span's duration.
-    Open spans (no ``end``) are skipped.
-    """
-    durations: dict[object, float] = {}
-    names: dict[object, str] = {}
-    parents: dict[object, object] = {}
-    for record in records:
-        if record.get("type") != "span":
-            continue
-        duration = record.get("duration")
-        if not isinstance(duration, (int, float)):
-            continue
-        span_id = record.get("id")
-        durations[span_id] = float(duration)
-        names[span_id] = str(record.get("name"))
-        parents[span_id] = record.get("parent")
-    child_time: dict[object, float] = {}
-    for span_id, duration in durations.items():
-        parent = parents.get(span_id)
-        if parent in durations:
-            child_time[parent] = child_time.get(parent, 0.0) + duration
-    totals: dict[str, SpanAggregate] = {}
-    for span_id, duration in durations.items():
-        name = names[span_id]
-        self_time = max(0.0, duration - child_time.get(span_id, 0.0))
-        prev = totals.get(name)
-        if prev is None:
-            totals[name] = SpanAggregate(name, 1, duration, self_time)
-        else:
-            totals[name] = SpanAggregate(
-                name,
-                prev.count + 1,
-                prev.total + duration,
-                prev.self_time + self_time,
-            )
-    return sorted(
-        totals.values(), key=lambda a: (-a.self_time, a.name)
-    )
 
 
 # ----------------------------------------------------------- report pieces

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..errors import ObservabilityError
+from .env import env_fingerprint
 from .spans import read_trace
 from .timeline import AppTimeline, timelines_from_records
 
@@ -63,6 +64,7 @@ MANIFEST_SCHEMA_VERSION = 1
 _MANIFEST = "manifest.json"
 _TRACE = "trace.jsonl"
 _METRICS = "metrics.json"
+_PROFILE = "profile.json"
 _RESULTS_DIR = "results"
 
 
@@ -102,10 +104,12 @@ class RunRecorder:
             "schema": MANIFEST_SCHEMA_VERSION,
             "run_id": rid,
             "started": _utc_stamp(self._started_wall),
+            "env": env_fingerprint(),
         }
         if argv is not None:
             self.manifest["argv"] = list(argv)
         self._results: dict[str, object] = {}
+        self._profile: dict[str, object] | None = None
         self._finalized = False
 
     def _fresh_id(self, base: Path) -> str:
@@ -144,6 +148,19 @@ class RunRecorder:
             )
         self._results[name] = payload
 
+    def record_profile(self, document: dict[str, object]) -> None:
+        """Stage a speedscope profile document, written as ``profile.json``.
+
+        Produced by the CLI ``--profile`` flag (see
+        :func:`repro.obs.prof.speedscope_document`); the staged document
+        is written alongside the trace at :meth:`finalize`.
+        """
+        if self._finalized:
+            raise ObservabilityError(
+                f"run {self.run_id} already finalized; cannot record a profile"
+            )
+        self._profile = document
+
     def finalize(
         self,
         session: "Observation | None" = None,
@@ -170,6 +187,12 @@ class RunRecorder:
                 encoding="utf-8",
             )
             files.append(_METRICS)
+        if self._profile is not None:
+            (self.path / _PROFILE).write_text(
+                json.dumps(self._profile, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            files.append(_PROFILE)
         if self._results:
             results_dir = self.path / _RESULTS_DIR
             results_dir.mkdir(exist_ok=True)
@@ -216,6 +239,10 @@ class RunRecord:
     def metrics(self) -> dict[str, object]:
         """The metrics snapshot captured at finalize (empty if absent)."""
         return _read_json_object(self.path / _METRICS, required=False)
+
+    def profile(self) -> dict[str, object]:
+        """The speedscope profile document, if the run carried one."""
+        return _read_json_object(self.path / _PROFILE, required=False)
 
     def results(self) -> dict[str, object]:
         """Result tables by name, from ``results/*.json``."""

@@ -130,6 +130,11 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(
         "sim.engine.events", "counter", "discrete events processed per run"
     ),
+    MetricSpec(
+        "sim.loop.events",
+        "counter",
+        "scheduling-loop events popped by run_parallel_loop",
+    ),
     MetricSpec("sim.makespan", "histogram", "makespans across simulations"),
     MetricSpec(
         "sim.makespan.{technique}",
@@ -184,6 +189,17 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(
         "pmf.support", "histogram", "support sizes through convolutions"
     ),
+    MetricSpec(
+        "pmf.pulse_products",
+        "histogram",
+        "pulse pairs multiplied per combine (the kernel's true work)",
+    ),
+    MetricSpec(
+        "pmf.truncations", "counter", "combines whose support was truncated"
+    ),
+    MetricSpec(
+        "pmf.dilations", "counter", "availability dilations performed"
+    ),
     # orchestration
     MetricSpec("study.cells", "counter", "stage-II study grid cells simulated"),
     MetricSpec("cdsf.stage_i_runs", "counter", "stage-I optimizations run"),
@@ -217,6 +233,7 @@ SPANS: tuple[SpanSpec, ...] = (
     SpanSpec("sim.replicate", "replicated simulations of one app"),
     SpanSpec("sim.app", "one application simulation"),
     SpanSpec("sim.engine.run", "the discrete-event loop of one run"),
+    SpanSpec("bench.case", "one benchmark case measurement"),
 )
 
 

@@ -69,11 +69,19 @@ def combine(
         )
     probs = a.probs[:, None] * b.probs[None, :]
     out = PMF(values.ravel(), probs.ravel())
-    if max_points is not None and len(out) > max_points:
+    truncated = max_points is not None and len(out) > max_points
+    if truncated:
+        assert max_points is not None
         out = out.truncate(max_points)
     if obs_enabled():
         incr("pmf.combines")
         observe_value("pmf.support", float(len(out)))
+        # The pulse-product count is the kernel's true work (the outer
+        # product is O(|a|·|b|) regardless of the surviving support), so
+        # it is the figure the vectorization work must drive down.
+        observe_value("pmf.pulse_products", float(len(a) * len(b)))
+        if truncated:
+            incr("pmf.truncations")
     return out
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import PMFError
+from ..obs import incr, obs_enabled
 from .algebra import combine
 from .pmf import PMF
 
@@ -79,6 +80,8 @@ def dilate_by_availability(
         raise PMFError(
             f"availability support must lie in (0, 1], got [{lo}, {hi}]"
         )
+    if obs_enabled():
+        incr("pmf.dilations")
     return combine(
         time_pmf, availability_pmf, lambda t, a: t / a, max_points=max_points
     )

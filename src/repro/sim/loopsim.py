@@ -280,8 +280,10 @@ def run_parallel_loop(
             parked.clear()
 
     by_id = {w.worker_id: w for w in workers}
+    loop_events = 0
     while queue:
         event = queue.pop()
+        loop_events += 1
         worker: SimWorker = event.payload
         now = event.time
         wid = worker.worker_id
@@ -378,6 +380,10 @@ def run_parallel_loop(
         if obs_enabled():
             _chunk_event(record)
         queue.push(finish, worker)
+    if obs_enabled():
+        # One bulk increment per loop, not one per event: the inner loop
+        # is the hot path the <5% disabled-overhead budget protects.
+        incr("sim.loop.events", float(loop_events))
     return ParallelLoopResult(
         chunks=chunks,
         finish_times=finish_times,

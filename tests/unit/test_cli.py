@@ -290,3 +290,155 @@ class TestRunStoreCommands:
         assert main(["--run-dir", str(base), "runs"]) == 0
         assert main(["--run-dir", str(base), "report", ids[0]]) == 0
         assert RunStore(base).run_ids() == ids
+
+    def test_runs_format_json(self, recorded, capsys):
+        import json
+
+        base, ids = recorded
+        assert main(["--run-dir", str(base), "runs", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["run_id"] for row in payload] == list(ids)
+        assert all(row["command"] == "scenario" for row in payload)
+        assert all(row["exit_code"] == 0 for row in payload)
+
+    def test_runs_format_json_empty_store(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            ["--run-dir", str(tmp_path / "none"), "runs", "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_manifest_env_fingerprint(self, recorded):
+        from repro.obs import RunStore
+
+        base, ids = recorded
+        env = RunStore(base).load(ids[0]).manifest["env"]
+        for key in ("python", "platform", "cpu_logical", "cpu_available"):
+            assert key in env
+
+
+class TestBenchCommands:
+    def test_bench_list_text(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pmf-convolve", "sim-fac", "stage1-genetic"):
+            assert name in out
+
+    def test_bench_list_json(self, capsys):
+        import json
+
+        assert main(["bench", "list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [row["name"] for row in payload]
+        assert "pmf-dilate" in names
+        assert all(
+            set(row) == {"name", "rounds", "tolerance", "description"}
+            for row in payload
+        )
+
+    def test_bench_run_unknown_name_errors(self, tmp_path, capsys):
+        assert main(
+            ["bench", "run", "no-such-bench",
+             "--history", str(tmp_path / "h.jsonl")]
+        ) == 2
+        assert "no benchmark" in capsys.readouterr().out
+
+    def test_bench_compare_without_history_errors(self, tmp_path, capsys):
+        assert main(
+            ["bench", "compare", "--history", str(tmp_path / "h.jsonl")]
+        ) == 2
+        assert "no benchmark history" in capsys.readouterr().out
+
+    def test_bench_run_compare_regression_cycle(self, tmp_path, capsys):
+        """The full CI-gate story: run, re-run, inject a slowdown."""
+        import json
+
+        from repro.bench import load_history
+
+        hist = tmp_path / "hist.jsonl"
+        run = ["bench", "run", "pmf-convolve", "--rounds", "1",
+               "--history", str(hist)]
+        compare = ["bench", "compare", "--history", str(hist)]
+
+        assert main(run) == 0
+        out = capsys.readouterr().out
+        assert "pmf-convolve: best" in out
+        assert "appended 1 record(s)" in out
+        assert main(compare) == 0  # single record -> "new", no gate
+        assert "new" in capsys.readouterr().out
+
+        assert main(run) == 0
+        capsys.readouterr()
+        assert main(compare) == 0  # comparable reruns stay within tolerance
+        assert "ok:" in capsys.readouterr().out
+
+        records = load_history(hist)
+        assert len(records) == 2
+        assert all(r.env.get("cpu_available") for r in records)
+
+        # Inject a synthetic 10x slowdown as a third record: the gate
+        # must trip with a nonzero exit.
+        slow = records[-1].as_dict()
+        slow["best_s"] = float(slow["best_s"]) * 10.0
+        slow["mean_s"] = float(slow["mean_s"]) * 10.0
+        with hist.open("a") as fh:
+            fh.write(json.dumps(slow) + "\n")
+        assert main(compare) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+        assert main([*compare, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = [r for r in payload if r["name"] == "pmf-convolve"]
+        assert row["status"] == "regression"
+        assert row["ratio"] > 1.0
+
+
+class TestProfileFlag:
+    _run = ["scenario", "1", "--replications", "1", "--seed", "1"]
+
+    def _profile_doc(self, base):
+        from repro.obs import RunStore
+
+        (run_id,) = RunStore(base).run_ids()
+        return RunStore(base).load(run_id).profile()
+
+    def test_profile_writes_speedscope_document(self, tmp_path, capsys):
+        from repro.obs import PROFILE_SCHEMA_URL
+
+        base = tmp_path / "runs"
+        assert main(
+            ["--profile", "--run-dir", str(base), *self._run]
+        ) == 0
+        doc = self._profile_doc(base)
+        assert doc["$schema"] == PROFILE_SCHEMA_URL
+        assert doc["shared"]["frames"]
+        names = [p["name"] for p in doc["profiles"]]
+        assert any("spans" in n for n in names)
+        assert any("sampled" in n for n in names)
+        span_profile = doc["profiles"][0]
+        assert span_profile["samples"] and span_profile["weights"]
+
+    def test_no_profile_without_flag(self, tmp_path, capsys):
+        base = tmp_path / "runs"
+        assert main(["--run-dir", str(base), *self._run]) == 0
+        assert self._profile_doc(base) == {}  # absent: empty like metrics()
+
+    def test_env_var_enables_profiling(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import ENV_PROF
+
+        base = tmp_path / "runs"
+        monkeypatch.setenv(ENV_PROF, "0.002")
+        assert main(["--run-dir", str(base), *self._run]) == 0
+        assert self._profile_doc(base).get("profiles")
+
+    def test_profile_without_run_dir_writes_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["--profile", *self._run]) == 0
+        assert "speedscope" in capsys.readouterr().out
+        doc = json.loads((tmp_path / "repro-profile.json").read_text())
+        assert doc["profiles"]
