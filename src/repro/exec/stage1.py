@@ -14,6 +14,9 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
+from ..obs import event as obs_event
+from ..obs import obs_enabled
+from ..obs.live import heartbeat_due
 from .backends import ExecutionBackend, SerialBackend
 from .tasks import CandidateEvalTask, encode_assignments
 
@@ -48,7 +51,17 @@ def evaluate_allocations(
         or backend.workers <= 1
         or len(candidates) < 2 * backend.workers
     ):
-        return [evaluator.joint_probability(dict(c)) for c in candidates]
+        scores: list[float] = []
+        for c in candidates:
+            scores.append(evaluator.joint_probability(dict(c)))
+            if obs_enabled() and heartbeat_due("ra.progress"):
+                obs_event(
+                    "ra.progress",
+                    float(len(scores)),
+                    done=len(scores),
+                    total=len(candidates),
+                )
+        return scores
     n_chunks = min(len(candidates), backend.workers * _CHUNKS_PER_WORKER)
     bounds = [
         (len(candidates) * k) // n_chunks for k in range(n_chunks + 1)
@@ -69,4 +82,11 @@ def evaluate_allocations(
     scores: list[float] = []
     for chunk_scores in backend.run_tasks(tasks):
         scores.extend(chunk_scores)
+        if obs_enabled() and heartbeat_due("ra.progress"):
+            obs_event(
+                "ra.progress",
+                float(len(scores)),
+                done=len(scores),
+                total=len(candidates),
+            )
     return scores

@@ -1,0 +1,499 @@
+"""In-process live telemetry: a bounded event bus with subscribers.
+
+Every surface built on the observation layer so far is post-hoc — run
+directories, timelines, reports, and profiles only exist after the
+process exits. This module is the real-time half: a thread-safe
+:class:`TelemetryBus` mirrors the tracer's domain-time point events (and
+periodic metrics snapshots) into a bounded ring buffer, and hands them
+to any number of :class:`Subscription` queues with drop-oldest
+backpressure — a slow consumer loses old records, it never blocks the
+emitting thread.
+
+Wiring is one call per side:
+
+* :func:`install_bus` attaches a bus to the active
+  :class:`~repro.obs.Observation` session by registering a tracer event
+  sink (see :meth:`~repro.obs.Tracer.set_event_sink`). Worker-side
+  events surface through the existing ``adopt_records`` merge path, so a
+  process-pool run streams exactly like a serial one.
+* Emitters stay on the ordinary :func:`repro.obs.event` hook — when no
+  bus is installed the only cost is the session's existing ``is None``
+  check, and with observation off entirely the span/event hot path
+  allocates nothing.
+
+Records are plain JSON-ready dicts with a monotonically increasing
+``seq``; :meth:`TelemetryBus.replay` recovers missed records from the
+ring (the HTTP layer's ``Last-Event-ID`` resume,
+:mod:`repro.obs.serve`). :func:`heartbeat_due` rate-limits the
+``*.progress`` events the simulator, stage-I fan-out, and bench harness
+emit, and :class:`LiveView` folds a record stream into the terminal
+progress picture behind ``repro watch``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Mapping
+
+from ..errors import ObservabilityError
+from . import Observation, gauge_set, incr
+from .schema import FAULT_EVENT_NAMES
+from .spans import AttrValue, Event
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_SUBSCRIBER_CAPACITY",
+    "LiveView",
+    "Subscription",
+    "TelemetryBus",
+    "current_bus",
+    "flush_bus_stats",
+    "heartbeat_due",
+    "heartbeat_reset",
+    "install_bus",
+    "uninstall_bus",
+]
+
+#: Ring-buffer capacity: how far back ``Last-Event-ID`` resume reaches.
+DEFAULT_CAPACITY = 16384
+
+#: Per-subscriber queue bound; beyond it the oldest records drop.
+DEFAULT_SUBSCRIBER_CAPACITY = 4096
+
+#: Minimum wall-clock seconds between two heartbeats of the same key.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+
+
+class Subscription:
+    """One subscriber's bounded queue of bus records.
+
+    Producers enqueue via :meth:`_offer` (never blocking — when the
+    queue is full the oldest record is dropped and counted); the
+    consumer blocks in :meth:`pop`. After :meth:`close`, queued records
+    still drain — ``pop`` returns None only once the queue is empty.
+    """
+
+    def __init__(self, bus: "TelemetryBus", maxlen: int) -> None:
+        if maxlen < 1:
+            raise ObservabilityError(
+                f"subscription queue bound must be >= 1, got {maxlen}"
+            )
+        self._bus = bus
+        self._maxlen = maxlen
+        self._queue: deque[dict[str, object]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.dropped = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (queued records still drain)."""
+        return self._closed
+
+    def _offer(self, record: dict[str, object]) -> int:
+        """Enqueue without blocking; returns how many records dropped."""
+        dropped = 0
+        with self._cond:
+            if self._closed:
+                return 0
+            while len(self._queue) >= self._maxlen:
+                self._queue.popleft()
+                dropped += 1
+            self._queue.append(record)
+            self.dropped += dropped
+            self._cond.notify()
+        return dropped
+
+    def pop(self, timeout: float | None = None) -> dict[str, object] | None:
+        """The next record; None on timeout or once closed and drained."""
+        with self._cond:
+            if not self._queue and not self._closed:
+                self._cond.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def close(self) -> None:
+        """Detach from the bus; a blocked :meth:`pop` wakes with None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._bus._discard(self)
+
+
+class TelemetryBus:
+    """Thread-safe bounded ring of trace records with fan-out.
+
+    Two record kinds flow through one sequence-id space::
+
+        {"seq": 17, "kind": "event", "name": "sim.chunk",
+         "time": 12.5, "attrs": {...}}
+        {"seq": 18, "kind": "snapshot", "metrics": {...}}
+
+    ``seq`` increases monotonically for the bus's lifetime; the ring
+    keeps the last ``capacity`` records so a reconnecting subscriber can
+    :meth:`replay` what it missed. Publishing never blocks: a full
+    subscriber queue drops its oldest record (counted, surfaced as the
+    ``obs.live.dropped`` counter by :func:`flush_bus_stats`).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ObservabilityError(
+                f"bus capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: deque[dict[str, object]] = deque(maxlen=capacity)
+        self._lock = threading.RLock()
+        self._subscribers: list[Subscription] = []
+        self._seq = 0
+        self._published = 0
+        self._dropped = 0
+        self._snapshots = 0
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence id of the most recently published record (0 if none)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    # --------------------------------------------------------------- publish
+
+    def _publish(self, record: dict[str, object]) -> dict[str, object]:
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._ring.append(record)
+            self._published += 1
+            for sub in self._subscribers:
+                self._dropped += sub._offer(record)
+        return record
+
+    def publish_event(
+        self,
+        name: str,
+        time: float,
+        attrs: Mapping[str, AttrValue] | None = None,
+    ) -> dict[str, object]:
+        """Publish one domain-time point event onto the bus."""
+        return self._publish(
+            {
+                "kind": "event",
+                "name": name,
+                "time": float(time),
+                "attrs": dict(attrs or {}),
+            }
+        )
+
+    def publish_snapshot(
+        self, metrics: Mapping[str, object]
+    ) -> dict[str, object]:
+        """Publish one metrics snapshot onto the bus."""
+        with self._lock:
+            self._snapshots += 1
+        return self._publish({"kind": "snapshot", "metrics": dict(metrics)})
+
+    # ------------------------------------------------------------ subscribe
+
+    def replay(self, since: int) -> list[dict[str, object]]:
+        """Ring records with ``seq > since``, oldest first.
+
+        Records older than the ring's capacity are gone — a resume from
+        far behind silently starts at the oldest retained record.
+        """
+        with self._lock:
+            out: list[dict[str, object]] = []
+            for record in self._ring:
+                seq = record.get("seq")
+                if isinstance(seq, int) and seq > since:
+                    out.append(record)
+            return out
+
+    def subscribe(
+        self,
+        *,
+        maxlen: int = DEFAULT_SUBSCRIBER_CAPACITY,
+        since: int | None = None,
+    ) -> Subscription:
+        """Attach a subscriber; ``since`` pre-loads missed ring records.
+
+        With ``since=None`` the subscription starts at the live edge
+        (only records published after the call). Passing a sequence id
+        replays everything after it first — the ``Last-Event-ID``
+        resume path.
+        """
+        sub = Subscription(self, maxlen)
+        with self._lock:
+            if since is not None:
+                for record in self.replay(since):
+                    sub._offer(record)
+            self._subscribers.append(sub)
+        return sub
+
+    def _discard(self, sub: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
+
+    def close(self) -> None:
+        """Close every subscriber (their queued records still drain)."""
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for sub in subscribers:
+            sub.close()
+
+    # ----------------------------------------------------------------- stats
+
+    def consume_stats(self) -> dict[str, int]:
+        """Counters accumulated since the last consume, plus the gauge.
+
+        ``published``/``dropped``/``snapshots`` are deltas (reset by the
+        read); ``subscribers`` is the current attachment count.
+        """
+        with self._lock:
+            stats = {
+                "published": self._published,
+                "dropped": self._dropped,
+                "snapshots": self._snapshots,
+                "subscribers": len(self._subscribers),
+            }
+            self._published = 0
+            self._dropped = 0
+            self._snapshots = 0
+        return stats
+
+
+def flush_bus_stats(
+    bus: TelemetryBus, *, pending_snapshots: int = 0
+) -> dict[str, int]:
+    """Fold the bus's accumulated stats into the active metrics registry.
+
+    ``pending_snapshots`` pre-accounts snapshots the caller is about to
+    publish *after* this flush — :meth:`repro.obs.serve.ObsServer.close`
+    flushes first, then takes the registry snapshot, then publishes it,
+    so the final snapshot on the bus already includes its own counts and
+    agrees with the run directory's ``metrics.json``.
+    """
+    stats = bus.consume_stats()
+    published = stats["published"] + pending_snapshots
+    snapshots = stats["snapshots"] + pending_snapshots
+    if published:
+        incr("obs.live.events", float(published))
+    if stats["dropped"]:
+        incr("obs.live.dropped", float(stats["dropped"]))
+    if snapshots:
+        incr("obs.live.snapshots", float(snapshots))
+    gauge_set("obs.live.subscribers", float(stats["subscribers"]))
+    return stats
+
+
+# ------------------------------------------------------------- installation
+#
+# One bus at a time, mirroring the single-session model of repro.obs: the
+# bus is fed by the session tracer's event sink, so everything that
+# reaches the trace — including worker records merged by adopt_records —
+# also reaches live subscribers, in the same order.
+
+_BUS: TelemetryBus | None = None
+
+
+def current_bus() -> TelemetryBus | None:
+    """The installed telemetry bus, or None."""
+    return _BUS
+
+
+def install_bus(
+    session: Observation,
+    *,
+    bus: TelemetryBus | None = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> TelemetryBus:
+    """Attach a bus to ``session``'s tracer; returns the installed bus.
+
+    Every event the tracer records from then on is mirrored onto the
+    bus. Only one bus can be installed at a time.
+    """
+    global _BUS
+    if _BUS is not None:
+        raise ObservabilityError(
+            "a telemetry bus is already installed; call uninstall_bus first"
+        )
+    installed = bus if bus is not None else TelemetryBus(capacity)
+
+    def _sink(event: Event) -> None:
+        installed.publish_event(event.name, event.time, event.attributes)
+
+    session.tracer.set_event_sink(_sink)
+    _BUS = installed
+    return installed
+
+
+def uninstall_bus(session: Observation) -> None:
+    """Detach the installed bus and close its subscribers.
+
+    Does **not** flush bus stats into the metrics registry — the caller
+    (normally :meth:`repro.obs.serve.ObsServer.close`) flushes exactly
+    once, before the final snapshot, so the published snapshot and the
+    persisted ``metrics.json`` agree.
+    """
+    global _BUS
+    session.tracer.set_event_sink(None)
+    bus = _BUS
+    _BUS = None
+    if bus is not None:
+        bus.close()
+
+
+# -------------------------------------------------------------- heartbeats
+
+_heartbeat_lock = threading.Lock()
+_heartbeat_last: dict[str, float] = {}
+
+
+def heartbeat_due(
+    key: str,
+    interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    *,
+    clock: Callable[[], float] | None = None,
+) -> bool:
+    """True at most once per ``interval`` wall seconds per ``key``.
+
+    The rate limiter behind the ``sim.progress``/``ra.progress``
+    heartbeat events: the emitting loops call this every iteration and
+    only emit when it fires, so event volume is bounded by wall time, not
+    by problem size. The first call for a key always fires. ``clock`` is
+    injectable for tests; the default is the monotonic clock (this
+    module lives in ``repro.obs``, the one package allowed to read it).
+    """
+    now = (clock if clock is not None else time.monotonic)()
+    with _heartbeat_lock:
+        last = _heartbeat_last.get(key)
+        if last is not None and now - last < interval:
+            return False
+        _heartbeat_last[key] = now
+        return True
+
+
+def heartbeat_reset() -> None:
+    """Forget every heartbeat key (tests; the next call always fires)."""
+    with _heartbeat_lock:
+        _heartbeat_last.clear()
+
+
+# ---------------------------------------------------------------- live view
+
+
+class LiveView:
+    """Folds a stream of bus records into a terminal progress picture.
+
+    Pure state — no I/O, no clock — so it renders identically from a
+    live SSE stream (``repro watch http://...``) and from a replayed
+    ``trace.jsonl`` (``repro watch <run-dir>``, via
+    :meth:`apply_trace_record`).
+    """
+
+    def __init__(self) -> None:
+        #: per-technique (done, total) from ``sim.progress`` heartbeats
+        self.progress: dict[str, tuple[int, int]] = {}
+        self.event_counts: dict[str, int] = {}
+        self.faults = 0
+        self.records = 0
+        self.last_seq = 0
+        self.snapshot: dict[str, object] | None = None
+
+    def apply(self, record: Mapping[str, object]) -> None:
+        """Fold one bus record (``kind`` of ``event`` or ``snapshot``)."""
+        self.records += 1
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            self.last_seq = max(self.last_seq, seq)
+        kind = record.get("kind")
+        if kind == "snapshot":
+            metrics = record.get("metrics")
+            if isinstance(metrics, dict):
+                self.snapshot = metrics
+            return
+        if kind != "event":
+            return
+        name = str(record.get("name"))
+        self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        if name in FAULT_EVENT_NAMES:
+            self.faults += 1
+        if name == "sim.progress":
+            attrs = record.get("attrs")
+            if isinstance(attrs, dict):
+                label = str(attrs.get("technique") or "") or "all"
+                done = attrs.get("done")
+                total = attrs.get("total")
+                if isinstance(done, (int, float)) and isinstance(
+                    total, (int, float)
+                ):
+                    self.progress[label] = (int(done), int(total))
+
+    def apply_trace_record(self, record: Mapping[str, object]) -> None:
+        """Fold one ``trace.jsonl`` record (non-events are ignored)."""
+        if record.get("type") != "event":
+            return
+        self.apply(
+            {
+                "kind": "event",
+                "name": record.get("name"),
+                "time": record.get("time"),
+                "attrs": record.get("attrs"),
+            }
+        )
+
+    def rho(self) -> tuple[float | None, float | None]:
+        """(rho1, rho2) from the latest snapshot's gauges, when present."""
+        values: list[float | None] = []
+        gauges: object = None
+        if self.snapshot is not None:
+            gauges = self.snapshot.get("gauges")
+        for key in ("cdsf.rho1", "cdsf.rho2"):
+            value: float | None = None
+            if isinstance(gauges, dict):
+                gauge = gauges.get(key)
+                if isinstance(gauge, dict):
+                    last = gauge.get("last")
+                    if isinstance(last, (int, float)):
+                        value = float(last)
+            values.append(value)
+        return (values[0], values[1])
+
+    def render(self) -> str:
+        """The progress picture as plain fixed-width text."""
+        lines = [
+            f"live: {self.records} record(s), last seq {self.last_seq}"
+        ]
+        for label in sorted(self.progress):
+            done, total = self.progress[label]
+            pct = 100.0 * done / total if total else 0.0
+            lines.append(
+                f"  {label:<10s} {done}/{total} iterations ({pct:5.1f}%)"
+            )
+        if self.event_counts:
+            counts = "  ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.event_counts.items())
+            )
+            lines.append(f"  events: {counts}")
+        rho1, rho2 = self.rho()
+        tail = [f"faults: {self.faults}"]
+        if rho1 is not None:
+            tail.append(f"rho1={rho1:.2%}")
+        if rho2 is not None:
+            tail.append(f"rho2={rho2:.2f}%")
+        lines.append("  " + "  ".join(tail))
+        return "\n".join(lines)

@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..errors import ObservabilityError
-from .env import env_fingerprint
+from .env import env_fingerprint, utc_stamp
 from .spans import read_trace
 from .timeline import AppTimeline, timelines_from_records
 
@@ -66,10 +66,6 @@ _TRACE = "trace.jsonl"
 _METRICS = "metrics.json"
 _PROFILE = "profile.json"
 _RESULTS_DIR = "results"
-
-
-def _utc_stamp(epoch: float) -> str:
-    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(epoch))
 
 
 class RunRecorder:
@@ -103,7 +99,7 @@ class RunRecorder:
         self.manifest: dict[str, object] = {
             "schema": MANIFEST_SCHEMA_VERSION,
             "run_id": rid,
-            "started": _utc_stamp(self._started_wall),
+            "started": utc_stamp(self._started_wall),
             "env": env_fingerprint(),
         }
         if argv is not None:

@@ -1,0 +1,617 @@
+"""Zero-dependency HTTP endpoint over the live telemetry bus.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (no third-party
+dependencies, one daemon thread per connection) that exposes a running
+invocation while it executes:
+
+* ``GET /healthz`` — liveness: uptime, last sequence id, subscribers;
+* ``GET /metrics`` — the metrics registry snapshot as JSON, or in the
+  Prometheus text exposition format (``?format=prometheus``, or an
+  ``Accept: text/plain`` header);
+* ``GET /events`` — the bus as a Server-Sent-Events stream: each record
+  is one ``id:``/``event:``/``data:`` frame, idle streams carry comment
+  heartbeats, and a ``Last-Event-ID`` header (or ``?since=SEQ``) resumes
+  from the ring buffer, replaying only what was missed;
+* ``GET /runs`` and ``GET /runs/<id>`` — the run store
+  (:class:`~repro.obs.runs.RunStore`) as JSON, for pulling past
+  manifests and metrics next to the live stream.
+
+The CLI gates the server behind ``--serve PORT`` (or the
+:data:`ENV_SERVE` environment variable); ``repro watch http://...``
+renders the stream as a terminal view. A background thread publishes a
+metrics snapshot onto the bus every ``snapshot_interval`` seconds, and
+:meth:`ObsServer.close` publishes one final snapshot **after** flushing
+the bus counters into the registry — so the last snapshot a subscriber
+sees agrees with the run directory's ``metrics.json``.
+
+Every request runs under a ``serve.request`` span on a per-request
+tracer (the shared session tracer is single-threaded by design); the
+request spans are folded into the session trace at close.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from collections.abc import Iterator, Mapping
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+from urllib.request import Request, urlopen
+
+from ..errors import ObservabilityError
+from . import Observation, metrics_snapshot
+from .live import TelemetryBus, flush_bus_stats
+from .logs import get_logger
+from .prof import perf_now
+from .runs import RunStore
+from .spans import AttrValue, SpanHandle, Tracer
+
+__all__ = [
+    "ENV_SERVE",
+    "ObsServer",
+    "current_server",
+    "parse_sse",
+    "port_from_env",
+    "prometheus_text",
+    "stream_events",
+]
+
+#: Environment variable selecting the serve port (flagless ``--serve``).
+ENV_SERVE = "REPRO_SERVE"
+
+#: Seconds between periodic metrics snapshots published on the bus.
+DEFAULT_SNAPSHOT_INTERVAL = 1.0
+
+#: Idle seconds after which an SSE stream writes a comment heartbeat.
+DEFAULT_SSE_HEARTBEAT = 5.0
+
+#: Poll granularity of the SSE write loop (also bounds close latency).
+_SSE_POLL = 0.25
+
+
+def span(
+    name: str, tracer: Tracer, **attributes: AttrValue
+) -> SpanHandle:
+    """Open span ``name`` on an explicit ``tracer``.
+
+    Shaped like :func:`repro.obs.span` (literal name first) so the
+    schema lint sees request handling as a declared span emitter; the
+    handler threads pass a fresh per-request tracer rather than using
+    the session-global observation, which is not thread-safe.
+    """
+    return tracer.span(name, dict(attributes))
+
+
+def port_from_env(value: str | None) -> int | None:
+    """Parse the :data:`ENV_SERVE` value: a TCP port, or None when unset."""
+    if value is None or not value.strip():
+        return None
+    try:
+        port = int(value.strip())
+    except ValueError:
+        raise ObservabilityError(
+            f"{ENV_SERVE} must be a TCP port number, got {value!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ObservabilityError(
+            f"{ENV_SERVE} must be in [0, 65535], got {port}"
+        )
+    return port
+
+
+# ---------------------------------------------------------------- prometheus
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_BAD.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    return f"{value:g}"
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Mapping[str, object]]
+) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix, gauges expose
+    their last value, histograms their cumulative ``_bucket{le=...}``
+    series plus ``_count``/``_sum``. Names are prefixed ``repro_`` and
+    sanitized to the Prometheus charset.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        if not isinstance(value, (int, float)):
+            continue
+        prom = _prom_name(f"repro_{name}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom}_total {_prom_value(float(value))}")
+    for name, gauge in sorted(snapshot.get("gauges", {}).items()):
+        if not isinstance(gauge, Mapping):
+            continue
+        last = gauge.get("last")
+        if not isinstance(last, (int, float)):
+            continue
+        prom = _prom_name(f"repro_{name}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(float(last))}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        if not isinstance(hist, Mapping):
+            continue
+        count = hist.get("count")
+        total = hist.get("total")
+        if not isinstance(count, (int, float)):
+            continue
+        prom = _prom_name(f"repro_{name}")
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        saw_inf = False
+        buckets = hist.get("buckets")
+        if isinstance(buckets, list):
+            for pair in buckets:
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    continue
+                bound, bucket_count = pair
+                if not isinstance(bucket_count, (int, float)):
+                    continue
+                cumulative += int(bucket_count)
+                if bound is None:
+                    saw_inf = True
+                    le = "+Inf"
+                elif isinstance(bound, (int, float)):
+                    le = _prom_value(float(bound))
+                else:
+                    continue
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        if not saw_inf:
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {int(count)}')
+        lines.append(f"{prom}_count {int(count)}")
+        if isinstance(total, (int, float)):
+            lines.append(f"{prom}_sum {_prom_value(float(total))}")
+    return "\n".join(lines) + "\n"
+
+
+def _safe_snapshot(
+    retries: int = 8,
+) -> dict[str, dict[str, object]] | None:
+    """The session metrics snapshot, retried across concurrent mutation.
+
+    ``MetricsRegistry.snapshot`` iterates plain dicts; a server thread
+    snapshotting while the main thread registers a *new* metric can see
+    ``RuntimeError: dictionary changed size during iteration``. Retrying
+    a handful of times always lands between registrations.
+    """
+    for _ in range(retries):
+        try:
+            return metrics_snapshot()
+        except RuntimeError:
+            continue
+    return None
+
+
+# -------------------------------------------------------------------- server
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    obs_server: "ObsServer"
+
+
+class ObsServer:
+    """The live-telemetry HTTP server around one :class:`TelemetryBus`.
+
+    ``port=0`` binds an ephemeral port (tests read :attr:`port` after
+    construction). :meth:`start` spawns the accept loop and the periodic
+    snapshot publisher as daemon threads; :meth:`close` stops both,
+    publishes the final snapshot, and lets SSE subscribers drain.
+    """
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        run_base: str | None = None,
+        snapshot_interval: float = DEFAULT_SNAPSHOT_INTERVAL,
+        heartbeat_interval: float = DEFAULT_SSE_HEARTBEAT,
+    ) -> None:
+        self.bus = bus
+        self.run_base = run_base
+        self.snapshot_interval = snapshot_interval
+        self.heartbeat_interval = heartbeat_interval
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.obs_server = self
+        self._lock = threading.Lock()
+        self._tracer = Tracer()
+        self._requests = 0
+        self._closing = threading.Event()
+        self._stop_snapshots = threading.Event()
+        self._started = perf_now()
+        self._serve_thread: threading.Thread | None = None
+        self._snapshot_thread: threading.Thread | None = None
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
+
+    @property
+    def uptime(self) -> float:
+        return perf_now() - self._started
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ObsServer":
+        """Spawn the accept loop and snapshot publisher; returns self."""
+        global _SERVER
+        if _SERVER is not None:
+            raise ObservabilityError(
+                "an observability server is already running"
+            )
+        _SERVER = self
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-serve",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self._snapshot_thread = threading.Thread(
+            target=self._snapshot_loop,
+            name="repro-obs-snapshots",
+            daemon=True,
+        )
+        self._snapshot_thread.start()
+        return self
+
+    def _snapshot_loop(self) -> None:
+        while not self._stop_snapshots.wait(self.snapshot_interval):
+            snapshot = _safe_snapshot()
+            if snapshot is not None:
+                self.bus.publish_snapshot(snapshot)
+
+    def record_request(self, records: list[dict[str, object]]) -> None:
+        """Fold one finished request tracer's records into the server's."""
+        if self._closing.is_set():
+            return
+        with self._lock:
+            self._requests += 1
+            self._tracer.adopt_records(records)
+
+    def close(self, session: Observation | None = None) -> None:
+        """Stop the server; publish the final snapshot; drain streams.
+
+        Ordering matters for the final-snapshot contract: periodic
+        snapshots stop first, then the bus counters are flushed into the
+        registry (pre-accounting the final snapshot itself), then the
+        registry snapshot is taken and published. The published snapshot
+        therefore equals what :meth:`~repro.obs.runs.RunRecorder.finalize`
+        writes to ``metrics.json`` moments later. ``session`` (when
+        given) additionally adopts the accumulated ``serve.request``
+        spans into the run trace.
+        """
+        global _SERVER
+        if self._closing.is_set():
+            return
+        self._stop_snapshots.set()
+        if self._snapshot_thread is not None:
+            self._snapshot_thread.join(timeout=5.0)
+        if session is not None:
+            with self._lock:
+                records = self._tracer.records()
+                self._tracer.clear()
+            if records:
+                session.tracer.adopt_records(records)
+        flush_bus_stats(self.bus, pending_snapshots=1)
+        snapshot = _safe_snapshot()
+        if snapshot is not None:
+            self.bus.publish_snapshot(snapshot)
+        self._closing.set()
+        self.bus.close()
+        self._httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._httpd.server_close()
+        if _SERVER is self:
+            _SERVER = None
+
+
+#: The running server, or None. One per process, like the observation
+#: session it serves; tests started via the CLI discover the bound
+#: ephemeral port through this.
+_SERVER: ObsServer | None = None
+
+
+def current_server() -> ObsServer | None:
+    """The running :class:`ObsServer`, or None."""
+    return _SERVER
+
+
+# ------------------------------------------------------------------- handler
+
+
+def _sse_frame(record: Mapping[str, object]) -> bytes:
+    seq = record.get("seq")
+    kind = record.get("kind")
+    lines: list[str] = []
+    if isinstance(seq, int):
+        lines.append(f"id: {seq}")
+    lines.append(f"event: {kind if isinstance(kind, str) else 'message'}")
+    lines.append(f"data: {json.dumps(record, sort_keys=True)}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def _parse_seq(value: str) -> int | None:
+    try:
+        return int(value.strip())
+    except ValueError:
+        return None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def obs(self) -> ObsServer:
+        server = self.server
+        assert isinstance(server, _HTTPServer)
+        return server.obs_server
+
+    def log_message(self, format: str, *args: object) -> None:
+        get_logger("serve").debug(
+            "%s %s", self.address_string(), format % args
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        tracer = Tracer()
+        try:
+            with span("serve.request", tracer, path=url.path) as handle:
+                status = self._route(url.path, parse_qs(url.query))
+                handle.set(status=status)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            self.obs.record_request(tracer.records())
+
+    # ------------------------------------------------------------- responses
+
+    def _send_json(self, payload: object, status: int = 200) -> int:
+        body = json.dumps(payload, sort_keys=True, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    def _send_text(self, text: str, status: int = 200) -> int:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    # ---------------------------------------------------------------- routes
+
+    def _route(self, path: str, query: dict[str, list[str]]) -> int:
+        if path == "/healthz":
+            return self._get_healthz()
+        if path == "/metrics":
+            return self._get_metrics(query)
+        if path == "/events":
+            return self._get_events(query)
+        if path == "/runs":
+            return self._get_runs()
+        if path.startswith("/runs/"):
+            return self._get_run(path[len("/runs/"):])
+        return self._send_json(
+            {
+                "error": f"no route for {path}",
+                "routes": [
+                    "/healthz",
+                    "/metrics",
+                    "/events",
+                    "/runs",
+                    "/runs/<id>",
+                ],
+            },
+            status=404,
+        )
+
+    def _get_healthz(self) -> int:
+        obs = self.obs
+        return self._send_json(
+            {
+                "status": "ok",
+                "seq": obs.bus.last_seq,
+                "subscribers": obs.bus.subscriber_count,
+                "requests": obs.requests,
+                "uptime_s": obs.uptime,
+            }
+        )
+
+    def _get_metrics(self, query: dict[str, list[str]]) -> int:
+        snapshot = _safe_snapshot()
+        if snapshot is None:
+            return self._send_json(
+                {"error": "observation is not active"}, status=503
+            )
+        fmt = (query.get("format") or [""])[0].lower()
+        accept = self.headers.get("Accept") or ""
+        if fmt in ("prometheus", "prom", "text") or (
+            not fmt and "text/plain" in accept
+        ):
+            return self._send_text(prometheus_text(snapshot))
+        return self._send_json(snapshot)
+
+    def _get_runs(self) -> int:
+        base = self.obs.run_base
+        if base is None:
+            return self._send_json(
+                {"error": "no run store configured (start with --run-dir)"},
+                status=404,
+            )
+        records = RunStore(base).list()
+        return self._send_json(
+            [
+                {
+                    "run_id": record.run_id,
+                    "command": record.manifest.get("command"),
+                    "started": record.manifest.get("started"),
+                    "wall_seconds": record.manifest.get("wall_seconds"),
+                    "exit_code": record.manifest.get("exit_code"),
+                }
+                for record in records
+            ]
+        )
+
+    def _get_run(self, run_id: str) -> int:
+        base = self.obs.run_base
+        if base is None:
+            return self._send_json(
+                {"error": "no run store configured (start with --run-dir)"},
+                status=404,
+            )
+        store = RunStore(base)
+        if run_id not in store.run_ids():
+            return self._send_json(
+                {"error": f"no run {run_id!r}", "known": store.run_ids()},
+                status=404,
+            )
+        record = store.load(run_id)
+        return self._send_json(
+            {
+                "run_id": record.run_id,
+                "manifest": record.manifest,
+                "metrics": record.metrics(),
+                "results": record.results(),
+            }
+        )
+
+    # ------------------------------------------------------------------- SSE
+
+    def _get_events(self, query: dict[str, list[str]]) -> int:
+        obs = self.obs
+        since: int | None = None
+        header = self.headers.get("Last-Event-ID")
+        if header is not None:
+            since = _parse_seq(header)
+        elif "since" in query and query["since"]:
+            since = _parse_seq(query["since"][0])
+        subscription = obs.bus.subscribe(
+            since=since if since is not None else obs.bus.last_seq
+        )
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        idle = 0.0
+        try:
+            while True:
+                record = subscription.pop(timeout=_SSE_POLL)
+                if record is None:
+                    if subscription.closed:
+                        break
+                    idle += _SSE_POLL
+                    if idle >= obs.heartbeat_interval:
+                        self.wfile.write(b": ping\n\n")
+                        self.wfile.flush()
+                        idle = 0.0
+                    continue
+                idle = 0.0
+                self.wfile.write(_sse_frame(record))
+                self.wfile.flush()
+        finally:
+            subscription.close()
+        return 200
+
+
+# --------------------------------------------------------------- SSE client
+#
+# The consumer half, used by `repro watch` and the tests; stdlib-only,
+# like the server.
+
+
+def parse_sse(lines: Iterator[str]) -> Iterator[dict[str, object]]:
+    """Parse SSE frames from an iterator of text lines.
+
+    Yields the JSON-decoded ``data:`` payload of each frame (bus
+    records); comment heartbeats and non-JSON frames are skipped.
+    """
+    data_lines: list[str] = []
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line:
+            if data_lines:
+                payload = "\n".join(data_lines)
+                data_lines = []
+                try:
+                    record = json.loads(payload)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field == "data":
+            data_lines.append(value)
+
+
+def stream_events(
+    url: str,
+    *,
+    last_event_id: int | None = None,
+    timeout: float = 30.0,
+) -> Iterator[dict[str, object]]:
+    """Subscribe to an ``/events`` endpoint; yields parsed bus records.
+
+    The iterator ends when the server closes the stream (at
+    :meth:`ObsServer.close`). ``timeout`` bounds each socket read — the
+    server's comment heartbeats keep a healthy but idle stream alive.
+    """
+    headers = {"Accept": "text/event-stream"}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    request = Request(url, headers=headers)
+    with urlopen(request, timeout=timeout) as response:
+        yield from parse_sse(
+            line.decode("utf-8", errors="replace") for line in response
+        )

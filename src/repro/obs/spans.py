@@ -203,6 +203,7 @@ class Tracer:
         self._finished: list[Span] = []
         self._events: list[Event] = []
         self._next_id = 1
+        self._event_sink: Callable[[Event], None] | None = None
 
     # ------------------------------------------------------------------ state
 
@@ -225,6 +226,19 @@ class Tracer:
         """Drop all finished spans and events (open spans are untouched)."""
         self._finished.clear()
         self._events.clear()
+
+    def set_event_sink(
+        self, sink: Callable[[Event], None] | None
+    ) -> None:
+        """Mirror every new :class:`Event` into ``sink`` as it is recorded.
+
+        Used by :mod:`repro.obs.live` to feed the telemetry bus: the sink
+        sees events from :meth:`event` and from :meth:`adopt_records` (so
+        worker-side events surface on the bus when the parent adopts
+        them). One sink at a time; pass None to detach. The sink must not
+        raise and must not call back into the tracer.
+        """
+        self._event_sink = sink
 
     # ------------------------------------------------------------------ spans
 
@@ -289,6 +303,8 @@ class Tracer:
         )
         self._next_id += 1
         self._events.append(event)
+        if self._event_sink is not None:
+            self._event_sink(event)
         return event
 
     # ------------------------------------------------------------------ merge
@@ -381,6 +397,8 @@ class Tracer:
             )
             self._next_id += 1
             self._events.append(event)
+            if self._event_sink is not None:
+                self._event_sink(event)
         return adopted
 
     # ----------------------------------------------------------------- export
@@ -437,7 +455,7 @@ def read_trace(
       :class:`~repro.errors.ObservabilityError` naming the file and the
       1-based line number of the first bad line;
     * ``on_error="skip"`` — drop malformed lines (a warning with the
-      skipped count is logged on the ``repro.obs.trace`` logger), so a
+      skipped count is logged on the ``repro.trace`` logger), so a
       trace truncated by a crashed writer still yields its good prefix.
     """
     if on_error not in ("raise", "skip"):
@@ -469,7 +487,7 @@ def read_trace(
                 )
             records.append(record)
     if skipped:
-        get_logger("obs.trace").warning(
+        get_logger("trace").warning(
             "skipped %d malformed line(s) while reading %s", skipped, path
         )
     return records

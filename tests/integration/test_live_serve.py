@@ -1,0 +1,129 @@
+"""End-to-end: a chaos run served live over SSE (--serve + repro watch).
+
+The acceptance path of the live-telemetry stack: start a faulted
+scenario run through the real CLI with ``--serve 0`` (ephemeral port),
+subscribe over HTTP/SSE while it executes, and check that
+
+* ``sim.progress`` heartbeats and at least one ``sim.crash`` arrive
+  while the run is still executing, and
+* the final metrics snapshot published at server close equals the
+  ``metrics.json`` the run recorder persisted moments later.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main
+from repro.obs import RunStore
+from repro.obs.live import current_bus, heartbeat_reset, uninstall_bus
+from repro.obs.serve import current_server, stream_events
+
+#: Small but not instant: ~1.5 s of wall time, enough for the SSE
+#: subscriber to attach and watch events arrive mid-run.
+ARGS = [
+    "scenario", "1",
+    "--replications", "6",
+    "--seed", "1",
+    "--faults",
+    "--fault-rate", "3e-4",
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    if obs.obs_enabled():
+        obs.stop(export=False)
+    heartbeat_reset()
+    yield
+    server = current_server()
+    if server is not None:
+        server.close()
+    if current_bus() is not None and obs.obs_enabled():
+        uninstall_bus(obs.current())
+    if obs.obs_enabled():
+        obs.stop(export=False)
+    heartbeat_reset()
+
+
+def test_served_chaos_run_streams_and_final_snapshot_matches(tmp_path):
+    codes: list[int] = []
+
+    def run_cli():
+        codes.append(
+            main(["--serve", "0", "--run-dir", str(tmp_path), *ARGS])
+        )
+
+    cli_thread = threading.Thread(target=run_cli)
+    cli_thread.start()
+    try:
+        # The server comes up at dispatch, before the workload starts.
+        server = None
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            server = current_server()
+            if server is not None:
+                break
+            time.sleep(0.01)
+        assert server is not None, "ObsServer never started"
+
+        records: list[dict[str, object]] = []
+        alive_at: list[bool] = []
+        # since=0 replays the full ring, so nothing published between
+        # server start and our subscription is lost.
+        for record in stream_events(
+            f"{server.url}/events?since=0", timeout=30.0
+        ):
+            records.append(record)
+            alive_at.append(cli_thread.is_alive())
+    finally:
+        cli_thread.join(timeout=120.0)
+    assert not cli_thread.is_alive()
+    assert codes == [0]
+
+    # Events were observed *while* the run executed, not post-hoc.
+    events = [r for r in records if r.get("kind") == "event"]
+    assert events, "no events arrived over SSE"
+    live_names = {
+        str(r.get("name"))
+        for r, alive in zip(records, alive_at)
+        if alive and r.get("kind") == "event"
+    }
+    assert "sim.progress" in live_names
+    assert "sim.crash" in live_names
+
+    # Sequence ids are strictly increasing on the wire.
+    seqs = [r["seq"] for r in records]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+    # The last snapshot on the stream is the close-time snapshot and
+    # agrees with what the recorder persisted as metrics.json.
+    snapshots = [r for r in records if r.get("kind") == "snapshot"]
+    assert snapshots, "no metrics snapshot arrived over SSE"
+    final = snapshots[-1]["metrics"]
+    record = RunStore(tmp_path).latest()
+    assert record is not None
+    persisted = record.metrics()
+    assert final == persisted
+    # The bus accounted for its own traffic in the final snapshot.
+    assert final["counters"]["obs.live.events"] == len(records)
+    assert final["counters"]["obs.live.snapshots"] == len(snapshots)
+
+    # The run dir's trace replays into the same progress picture the
+    # stream produced (the `repro watch <run-dir>` path).
+    from repro.obs.live import LiveView
+
+    replayed = LiveView()
+    for trace_record in record.trace_records():
+        replayed.apply_trace_record(trace_record)
+    streamed = LiveView()
+    for bus_record in records:
+        streamed.apply(bus_record)
+    assert replayed.event_counts == streamed.event_counts
+    assert replayed.faults == streamed.faults
+    assert replayed.progress == streamed.progress

@@ -1,0 +1,373 @@
+"""Tests for the live telemetry bus (repro.obs.live)."""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ObservabilityError
+from repro.obs.live import (
+    LiveView,
+    Subscription,
+    TelemetryBus,
+    current_bus,
+    flush_bus_stats,
+    heartbeat_due,
+    heartbeat_reset,
+    install_bus,
+    uninstall_bus,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    if obs.obs_enabled():
+        obs.stop(export=False)
+    heartbeat_reset()
+    yield
+    bus = current_bus()
+    if bus is not None and obs.obs_enabled():
+        uninstall_bus(obs.current())
+    if obs.obs_enabled():
+        obs.stop(export=False)
+    heartbeat_reset()
+
+
+class TestSubscription:
+    def test_offer_and_pop_round_trip(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        bus.publish_event("sim.chunk", 1.0, {"worker": 0})
+        record = sub.pop(timeout=0.1)
+        assert record is not None
+        assert record["name"] == "sim.chunk"
+        assert record["seq"] == 1
+        assert record["attrs"] == {"worker": 0}
+
+    def test_pop_times_out_with_none(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        assert sub.pop(timeout=0.01) is None
+
+    def test_bad_maxlen_raises(self):
+        bus = TelemetryBus()
+        with pytest.raises(ObservabilityError, match=">= 1"):
+            Subscription(bus, 0)
+
+    def test_close_drains_queued_records_first(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        bus.publish_event("a", 1.0)
+        bus.publish_event("b", 2.0)
+        sub.close()
+        assert sub.closed
+        first = sub.pop(timeout=0.1)
+        second = sub.pop(timeout=0.1)
+        assert first is not None and first["name"] == "a"
+        assert second is not None and second["name"] == "b"
+        assert sub.pop(timeout=0.01) is None
+
+    def test_close_wakes_a_blocked_pop(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        got: list[object] = []
+
+        def consume():
+            got.append(sub.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        sub.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+
+class TestDropOldest:
+    def test_slow_subscriber_drops_oldest_never_blocks(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe(maxlen=8)
+        # Publish far beyond the queue bound from this (emitting) thread
+        # with nobody consuming: the emitter must complete immediately.
+        done = threading.Event()
+
+        def emit():
+            for k in range(1000):
+                bus.publish_event("sim.chunk", float(k), {"worker": 0})
+            done.set()
+
+        thread = threading.Thread(target=emit)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert done.is_set(), "publishing blocked on a slow subscriber"
+        assert sub.dropped == 1000 - 8
+        # The queue holds exactly the newest 8 records.
+        kept = []
+        while (record := sub.pop(timeout=0.01)) is not None:
+            kept.append(record["seq"])
+        assert kept == list(range(993, 1001))
+        stats = bus.consume_stats()
+        assert stats["published"] == 1000
+        assert stats["dropped"] == 1000 - 8
+
+    def test_fast_subscriber_drops_nothing(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe(maxlen=64)
+        for k in range(64):
+            bus.publish_event("sim.chunk", float(k))
+        assert sub.dropped == 0
+        assert bus.consume_stats()["dropped"] == 0
+
+
+class TestTelemetryBus:
+    def test_seq_is_monotonic_across_kinds(self):
+        bus = TelemetryBus()
+        e1 = bus.publish_event("a", 1.0)
+        s1 = bus.publish_snapshot({"counters": {}})
+        e2 = bus.publish_event("b", 2.0)
+        assert [e1["seq"], s1["seq"], e2["seq"]] == [1, 2, 3]
+        assert bus.last_seq == 3
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ObservabilityError, match=">= 1"):
+            TelemetryBus(0)
+
+    def test_replay_returns_only_missed_records(self):
+        bus = TelemetryBus()
+        for k in range(10):
+            bus.publish_event("a", float(k))
+        assert [r["seq"] for r in bus.replay(7)] == [8, 9, 10]
+        assert bus.replay(10) == []
+        assert [r["seq"] for r in bus.replay(0)] == list(range(1, 11))
+
+    def test_replay_is_bounded_by_ring_capacity(self):
+        bus = TelemetryBus(capacity=4)
+        for k in range(10):
+            bus.publish_event("a", float(k))
+        # Records 1..6 fell out of the ring; resume from 0 silently
+        # starts at the oldest retained record.
+        assert [r["seq"] for r in bus.replay(0)] == [7, 8, 9, 10]
+
+    def test_subscribe_since_preloads_missed_records(self):
+        bus = TelemetryBus()
+        for k in range(5):
+            bus.publish_event("a", float(k))
+        sub = bus.subscribe(since=3)
+        got = []
+        while (record := sub.pop(timeout=0.01)) is not None:
+            got.append(record["seq"])
+        assert got == [4, 5]
+
+    def test_subscribe_default_starts_at_live_edge(self):
+        bus = TelemetryBus()
+        bus.publish_event("old", 1.0)
+        sub = bus.subscribe()
+        bus.publish_event("new", 2.0)
+        record = sub.pop(timeout=0.1)
+        assert record is not None and record["name"] == "new"
+        assert sub.pop(timeout=0.01) is None
+
+    def test_close_detaches_all_subscribers(self):
+        bus = TelemetryBus()
+        subs = [bus.subscribe() for _ in range(3)]
+        assert bus.subscriber_count == 3
+        bus.close()
+        assert bus.subscriber_count == 0
+        assert all(sub.closed for sub in subs)
+
+    def test_consume_stats_resets_deltas(self):
+        bus = TelemetryBus()
+        bus.publish_event("a", 1.0)
+        bus.publish_snapshot({})
+        first = bus.consume_stats()
+        assert first["published"] == 2
+        assert first["snapshots"] == 1
+        second = bus.consume_stats()
+        assert second["published"] == 0
+        assert second["snapshots"] == 0
+
+
+class TestInstall:
+    def test_installed_bus_mirrors_session_events(self):
+        session = obs.start()
+        bus = install_bus(session)
+        try:
+            sub = bus.subscribe()
+            obs.event("sim.crash", 12.5, worker=3, lost=7)
+            record = sub.pop(timeout=0.1)
+            assert record is not None
+            assert record["kind"] == "event"
+            assert record["name"] == "sim.crash"
+            assert record["time"] == 12.5
+            assert record["attrs"] == {"worker": 3, "lost": 7}
+        finally:
+            uninstall_bus(session)
+
+    def test_double_install_raises(self):
+        session = obs.start()
+        install_bus(session)
+        try:
+            with pytest.raises(ObservabilityError, match="already installed"):
+                install_bus(session)
+        finally:
+            uninstall_bus(session)
+
+    def test_adopted_worker_events_reach_the_bus(self):
+        # Worker-side events come home via adopt_records; the sink must
+        # see them exactly like locally recorded events.
+        session = obs.start()
+        bus = install_bus(session)
+        try:
+            sub = bus.subscribe()
+            worker = obs.Tracer()
+            worker.event("sim.requeue", 5.0, {"worker": 1, "size": 4})
+            session.tracer.adopt_records(worker.records())
+            record = sub.pop(timeout=0.1)
+            assert record is not None
+            assert record["name"] == "sim.requeue"
+        finally:
+            uninstall_bus(session)
+
+    def test_uninstall_detaches_sink_and_closes_bus(self):
+        session = obs.start()
+        bus = install_bus(session)
+        sub = bus.subscribe()
+        uninstall_bus(session)
+        assert current_bus() is None
+        assert sub.closed
+        obs.event("sim.crash", 1.0, worker=0, lost=0)
+        assert bus.last_seq == 0
+
+    def test_flush_bus_stats_lands_in_registry(self):
+        session = obs.start()
+        bus = install_bus(session)
+        try:
+            bus.subscribe()
+            obs.event("sim.crash", 1.0, worker=0, lost=0)
+            bus.publish_snapshot({})
+            flush_bus_stats(bus, pending_snapshots=1)
+            snapshot = session.metrics.snapshot()
+            # 2 published + 1 pending; 1 snapshot + 1 pending.
+            assert snapshot["counters"]["obs.live.events"] == 3.0
+            assert snapshot["counters"]["obs.live.snapshots"] == 2.0
+            assert snapshot["gauges"]["obs.live.subscribers"]["last"] == 1.0
+        finally:
+            uninstall_bus(session)
+
+
+class TestHeartbeat:
+    def test_first_call_always_fires(self):
+        assert heartbeat_due("test.key", clock=lambda: 100.0)
+
+    def test_throttles_within_interval(self):
+        times = iter([100.0, 100.1, 100.2, 100.4])
+        clock = lambda: next(times)  # noqa: E731
+        assert heartbeat_due("test.key", 0.25, clock=clock)
+        assert not heartbeat_due("test.key", 0.25, clock=clock)
+        assert not heartbeat_due("test.key", 0.25, clock=clock)
+        assert heartbeat_due("test.key", 0.25, clock=clock)
+
+    def test_keys_are_independent(self):
+        assert heartbeat_due("key.a", clock=lambda: 100.0)
+        assert heartbeat_due("key.b", clock=lambda: 100.0)
+
+    def test_reset_forgets_all_keys(self):
+        assert heartbeat_due("test.key", clock=lambda: 100.0)
+        heartbeat_reset()
+        assert heartbeat_due("test.key", clock=lambda: 100.0)
+
+
+class TestLiveView:
+    def test_folds_progress_and_faults(self):
+        view = LiveView()
+        view.apply(
+            {
+                "seq": 1,
+                "kind": "event",
+                "name": "sim.progress",
+                "time": 1.0,
+                "attrs": {"done": 50, "total": 200, "technique": "FAC"},
+            }
+        )
+        view.apply(
+            {
+                "seq": 2,
+                "kind": "event",
+                "name": "sim.crash",
+                "time": 2.0,
+                "attrs": {"worker": 0, "lost": 3},
+            }
+        )
+        assert view.progress == {"FAC": (50, 200)}
+        assert view.faults == 1
+        assert view.records == 2
+        assert view.last_seq == 2
+        text = view.render()
+        assert "FAC" in text
+        assert "50/200" in text
+        assert "faults: 1" in text
+
+    def test_snapshot_drives_rho(self):
+        view = LiveView()
+        view.apply(
+            {
+                "seq": 3,
+                "kind": "snapshot",
+                "metrics": {
+                    "gauges": {
+                        "cdsf.rho1": {"last": 0.96},
+                        "cdsf.rho2": {"last": 91.5},
+                    }
+                },
+            }
+        )
+        assert view.rho() == (0.96, 91.5)
+        text = view.render()
+        assert "rho1=96.00%" in text
+        assert "rho2=91.50%" in text
+
+    def test_rho_is_none_without_snapshot(self):
+        assert LiveView().rho() == (None, None)
+
+    def test_trace_record_adapter_ignores_spans(self):
+        view = LiveView()
+        view.apply_trace_record({"type": "span", "name": "cdsf.run"})
+        view.apply_trace_record(
+            {
+                "type": "event",
+                "name": "sim.chunk",
+                "time": 3.0,
+                "attrs": {"worker": 0},
+            }
+        )
+        assert view.records == 1
+        assert view.event_counts == {"sim.chunk": 1}
+
+
+class TestDisabledOverhead:
+    def test_disabled_span_hot_path_allocates_nothing(self):
+        # With observation off (and hence no bus) the span/event hooks
+        # must not allocate: one global load, one identity check.
+        assert not obs.obs_enabled()
+
+        def hot_path(n: int) -> None:
+            for _ in range(n):
+                with obs.span("bench.case"):
+                    pass
+                obs.event("sim.chunk", 1.0)
+
+        hot_path(100)  # warm any lazy caches
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            hot_path(1000)
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0, (
+            f"disabled span/event hot path retained {after - before} bytes "
+            "across 1000 iterations"
+        )

@@ -1,0 +1,382 @@
+"""Tests for the live telemetry HTTP endpoint (repro.obs.serve)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ObservabilityError
+from repro.obs.live import TelemetryBus, install_bus, uninstall_bus
+from repro.obs.serve import (
+    ObsServer,
+    current_server,
+    parse_sse,
+    port_from_env,
+    prometheus_text,
+    stream_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    if obs.obs_enabled():
+        obs.stop(export=False)
+    yield
+    server = current_server()
+    if server is not None:
+        server.close()
+    from repro.obs.live import current_bus
+
+    if current_bus() is not None and obs.obs_enabled():
+        uninstall_bus(obs.current())
+    if obs.obs_enabled():
+        obs.stop(export=False)
+
+
+@pytest.fixture()
+def server():
+    """An ObsServer on an ephemeral port over a fresh bus (no session)."""
+    bus = TelemetryBus()
+    srv = ObsServer(
+        bus, port=0, snapshot_interval=3600.0, heartbeat_interval=0.5
+    ).start()
+    yield srv
+    srv.close()
+
+
+def _get_json(url: str, headers: dict[str, str] | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _get_text(url: str, headers: dict[str, str] | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestPortFromEnv:
+    def test_unset_and_blank_are_none(self):
+        assert port_from_env(None) is None
+        assert port_from_env("") is None
+        assert port_from_env("   ") is None
+
+    def test_valid_port_parses(self):
+        assert port_from_env("8765") == 8765
+        assert port_from_env(" 0 ") == 0
+
+    def test_junk_raises(self):
+        with pytest.raises(ObservabilityError, match="TCP port"):
+            port_from_env("not-a-port")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ObservabilityError, match=r"\[0, 65535\]"):
+            port_from_env("70000")
+
+
+class TestPrometheusText:
+    SNAPSHOT = {
+        "counters": {"sim.apps": 4.0},
+        "gauges": {"cdsf.rho1": {"last": 0.96, "min": 0.9, "max": 1.0}},
+        "histograms": {
+            "dls.chunk_size": {
+                "count": 3,
+                "total": 60.0,
+                "buckets": [[10.0, 1], [100.0, 2]],
+            }
+        },
+    }
+
+    def test_counter_gets_total_suffix(self):
+        text = prometheus_text(self.SNAPSHOT)
+        assert "# TYPE repro_sim_apps counter" in text
+        assert "repro_sim_apps_total 4" in text
+
+    def test_gauge_exposes_last_value(self):
+        text = prometheus_text(self.SNAPSHOT)
+        assert "# TYPE repro_cdsf_rho1 gauge" in text
+        assert "repro_cdsf_rho1 0.96" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(self.SNAPSHOT)
+        assert 'repro_dls_chunk_size_bucket{le="10"} 1' in text
+        assert 'repro_dls_chunk_size_bucket{le="100"} 3' in text
+        assert 'repro_dls_chunk_size_bucket{le="+Inf"} 3' in text
+        assert "repro_dls_chunk_size_count 3" in text
+        assert "repro_dls_chunk_size_sum 60" in text
+
+    def test_empty_snapshot_is_just_a_newline(self):
+        assert prometheus_text({}) == "\n"
+
+
+class TestParseSse:
+    def test_parses_data_frames(self):
+        lines = [
+            "id: 1\n",
+            "event: event\n",
+            'data: {"seq": 1, "name": "sim.chunk"}\n',
+            "\n",
+            ": ping\n",
+            "\n",
+            "id: 2\n",
+            "event: snapshot\n",
+            'data: {"seq": 2, "kind": "snapshot"}\n',
+            "\n",
+        ]
+        records = list(parse_sse(iter(lines)))
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_skips_malformed_payloads(self):
+        lines = ["data: not json\n", "\n", 'data: {"seq": 3}\n', "\n"]
+        records = list(parse_sse(iter(lines)))
+        assert [r["seq"] for r in records] == [3]
+
+
+class TestRoutes:
+    def test_healthz_reports_bus_state(self, server):
+        server.bus.publish_event("sim.chunk", 1.0)
+        status, payload = _get_json(f"{server.url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["seq"] == 1
+        assert payload["subscribers"] == 0
+        assert payload["uptime_s"] > 0
+
+    def test_unknown_route_is_404_with_route_list(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get_json(f"{server.url}/nope")
+        assert err.value.code == 404
+        payload = json.loads(err.value.read().decode("utf-8"))
+        assert "/healthz" in payload["routes"]
+
+    def test_metrics_503_without_session(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get_json(f"{server.url}/metrics")
+        assert err.value.code == 503
+
+    def test_metrics_json_with_session(self, server):
+        obs.start()
+        obs.incr("sim.apps", 2.0)
+        status, payload = _get_json(f"{server.url}/metrics")
+        assert status == 200
+        assert payload["counters"]["sim.apps"] == 2.0
+
+    def test_metrics_prometheus_via_query_and_accept(self, server):
+        obs.start()
+        obs.incr("sim.apps", 2.0)
+        _, text = _get_text(f"{server.url}/metrics?format=prometheus")
+        assert "repro_sim_apps_total 2" in text
+        _, text = _get_text(
+            f"{server.url}/metrics", headers={"Accept": "text/plain"}
+        )
+        assert "repro_sim_apps_total 2" in text
+
+    def test_runs_404_without_run_base(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get_json(f"{server.url}/runs")
+        assert err.value.code == 404
+
+    def test_runs_lists_and_loads_run_dirs(self, tmp_path):
+        from repro.obs import RunRecorder
+
+        recorder = RunRecorder(tmp_path, run_id="r1", argv=["repro", "demo"])
+        recorder.annotate(command="demo")
+        recorder.record_result("demo", {"value": 1})
+        recorder.finalize(None, exit_code=0)
+        bus = TelemetryBus()
+        server = ObsServer(
+            bus, port=0, run_base=str(tmp_path), snapshot_interval=3600.0
+        ).start()
+        try:
+            status, runs = _get_json(f"{server.url}/runs")
+            assert status == 200
+            assert [r["run_id"] for r in runs] == ["r1"]
+            status, run = _get_json(f"{server.url}/runs/r1")
+            assert run["manifest"]["command"] == "demo"
+            assert run["results"]["demo"] == {"value": 1}
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get_json(f"{server.url}/runs/missing")
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+    def test_requests_counter_and_request_spans(self, server):
+        import time
+
+        _get_json(f"{server.url}/healthz")
+        _get_json(f"{server.url}/healthz")
+        # The fold-in runs after the response bytes hit the socket.
+        for _ in range(200):
+            if server.requests >= 2:
+                break
+            time.sleep(0.01)
+        assert server.requests == 2
+        with server._lock:
+            spans = list(server._tracer.finished)
+        assert [s.name for s in spans] == ["serve.request", "serve.request"]
+        assert spans[0].attributes["path"] == "/healthz"
+        assert spans[0].attributes["status"] == 200
+
+
+class TestSse:
+    def test_stream_delivers_live_records_and_ends_at_close(self, server):
+        got: list[dict[str, object]] = []
+        import threading
+
+        ready = threading.Event()
+
+        def consume():
+            for record in stream_events(f"{server.url}/events", timeout=10.0):
+                got.append(record)
+                ready.set()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        # Wait for the subscriber to attach, then publish.
+        for _ in range(100):
+            if server.bus.subscriber_count:
+                break
+            import time
+
+            time.sleep(0.02)
+        server.bus.publish_event("sim.crash", 9.0, {"worker": 1, "lost": 2})
+        assert ready.wait(timeout=5.0)
+        server.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        names = [r.get("name") for r in got if r.get("kind") == "event"]
+        assert "sim.crash" in names
+
+    def test_last_event_id_resume_replays_only_missed_records(self, server):
+        for k in range(6):
+            server.bus.publish_event("sim.chunk", float(k), {"worker": 0})
+        got: list[dict[str, object]] = []
+        import threading
+
+        def consume():
+            # Resume from seq 4: exactly 5 and 6 were missed.
+            for record in stream_events(
+                f"{server.url}/events", last_event_id=4, timeout=10.0
+            ):
+                got.append(record)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for _ in range(200):
+            if len(got) >= 2:
+                break
+            import time
+
+            time.sleep(0.02)
+        server.close()
+        thread.join(timeout=10.0)
+        assert [r["seq"] for r in got] == [5, 6]
+
+    def test_since_query_matches_header_resume(self, server):
+        for k in range(3):
+            server.bus.publish_event("sim.chunk", float(k), {"worker": 0})
+        got: list[dict[str, object]] = []
+        import threading
+
+        def consume():
+            for record in stream_events(
+                f"{server.url}/events?since=1", timeout=10.0
+            ):
+                got.append(record)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for _ in range(200):
+            if len(got) >= 2:
+                break
+            import time
+
+            time.sleep(0.02)
+        server.close()
+        thread.join(timeout=10.0)
+        assert [r["seq"] for r in got] == [2, 3]
+
+    def test_default_subscription_starts_at_live_edge(self, server):
+        server.bus.publish_event("old", 1.0)
+        got: list[dict[str, object]] = []
+        import threading
+
+        def consume():
+            for record in stream_events(f"{server.url}/events", timeout=10.0):
+                got.append(record)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for _ in range(100):
+            if server.bus.subscriber_count:
+                break
+            import time
+
+            time.sleep(0.02)
+        server.bus.publish_event("new", 2.0)
+        for _ in range(200):
+            if got:
+                break
+            import time
+
+            time.sleep(0.02)
+        server.close()
+        thread.join(timeout=10.0)
+        assert [r["name"] for r in got] == ["new"]
+
+
+class TestLifecycle:
+    def test_single_server_per_process(self, server):
+        other = ObsServer(TelemetryBus(), port=0)
+        with pytest.raises(ObservabilityError, match="already running"):
+            other.start()
+        other._httpd.server_close()
+
+    def test_close_is_idempotent_and_clears_global(self, server):
+        assert current_server() is server
+        server.close()
+        assert current_server() is None
+        server.close()  # second close is a no-op
+
+    def test_close_publishes_final_snapshot_matching_registry(self):
+        session = obs.start()
+        bus = install_bus(session)
+        server = ObsServer(bus, port=0, snapshot_interval=3600.0).start()
+        obs.event("sim.crash", 1.0, worker=0, lost=1)
+        obs.incr("sim.apps", 3.0)
+        sub = bus.subscribe(since=0)
+        server.close(session)
+        uninstall_bus(session)
+        final = None
+        while (record := sub.pop(timeout=0.05)) is not None:
+            if record.get("kind") == "snapshot":
+                final = record["metrics"]
+        assert final is not None
+        # The published final snapshot equals the registry state that
+        # RunRecorder.finalize would persist as metrics.json.
+        assert final == session.metrics.snapshot()
+        assert final["counters"]["obs.live.events"] == 2.0
+        assert final["counters"]["obs.live.snapshots"] == 1.0
+
+    def test_request_spans_adopted_into_session_trace(self):
+        session = obs.start()
+        bus = install_bus(session)
+        server = ObsServer(bus, port=0, snapshot_interval=3600.0).start()
+        _get_json(f"{server.url}/healthz")
+        # The handler folds its tracer in after the response is written;
+        # wait for that before closing (close skips in-flight requests).
+        import time
+
+        for _ in range(200):
+            if server.requests:
+                break
+            time.sleep(0.01)
+        server.close(session)
+        uninstall_bus(session)
+        names = [s.name for s in session.tracer.finished]
+        assert "serve.request" in names
